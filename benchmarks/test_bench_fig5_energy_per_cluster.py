@@ -1,0 +1,38 @@
+"""Figure 5 — energy consumption per cluster for each policy.
+
+"We can observe that distributing the workload using the RANDOM policy is
+not particularly energy efficient as it guarantees that all the resources
+are in use during the experiment."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.placement import run_policy_comparison
+from repro.experiments.reporting import format_energy_per_cluster
+
+
+def test_bench_fig5_energy_per_cluster(benchmark, full_scale_config):
+    comparison = benchmark.pedantic(
+        lambda: run_policy_comparison(config=full_scale_config),
+        rounds=1,
+        iterations=1,
+    )
+
+    per_policy = comparison.energy_per_cluster()
+    # Every policy reports energy for every cluster (nodes idle but powered).
+    for energies in per_policy.values():
+        assert set(energies) == {"orion", "taurus", "sagittaire"}
+        assert all(value > 0 for value in energies.values())
+
+    # The favoured cluster consumes more energy under the policy that
+    # concentrates work on it than under the opposite policy.
+    assert per_policy["POWER"]["taurus"] > per_policy["PERFORMANCE"]["taurus"]
+    assert per_policy["PERFORMANCE"]["orion"] > per_policy["POWER"]["orion"]
+
+    # RANDOM's total is the worst of the three (all resources in use).
+    totals = {policy: sum(values.values()) for policy, values in per_policy.items()}
+    assert totals["RANDOM"] == max(totals.values())
+
+    print()
+    print("Figure 5: energy per cluster (J)")
+    print(format_energy_per_cluster(comparison))

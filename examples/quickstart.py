@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a small workload with the green plug-in scheduler.
+
+This example builds the paper's Table I platform (one node per cluster to
+keep it quick), wires a DIET-style agent hierarchy on top of it, installs
+the GreenPerf plug-in scheduler, runs a burst + continuous workload
+through it and prints where the tasks landed and how much energy the
+platform consumed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import policy_by_name
+from repro.infrastructure.platform import grid5000_placement_platform
+from repro.middleware.driver import MiddlewareSimulation
+from repro.middleware.hierarchy import build_hierarchy
+from repro.workload.generator import BurstThenContinuousWorkload
+
+
+def main() -> None:
+    # 1. The infrastructure: Orion (fast, power hungry), Taurus (efficient)
+    #    and Sagittaire (old and slow) nodes, as in the paper's Table I.
+    platform = grid5000_placement_platform(nodes_per_cluster=1)
+    print(f"Platform: {len(platform)} nodes, {platform.total_cores} cores")
+    for node in platform.nodes:
+        spec = node.spec
+        print(
+            f"  {spec.name:14s} {spec.cores:2d} cores, "
+            f"{spec.flops_per_core / 1e9:.1f} GFLOP/s/core, "
+            f"idle {spec.idle_power:.0f} W / peak {spec.peak_power:.0f} W"
+        )
+
+    # 2. The middleware: a Master Agent, one Local Agent per cluster and one
+    #    SeD per node, with the GreenPerf plug-in scheduler installed.
+    scheduler = policy_by_name("GREENPERF")
+    master, seds = build_hierarchy(platform, scheduler=scheduler)
+
+    # 3. The workload: a burst of simultaneous requests followed by a
+    #    continuous phase, as in the paper's placement experiment.
+    workload = BurstThenContinuousWorkload(
+        total_tasks=60,
+        burst_size=20,
+        continuous_rate=1.0,
+        flop_per_task=2.0e10,
+    )
+
+    # 4. Run it through the full scheduling pipeline.
+    simulation = MiddlewareSimulation(platform, master, seds, sample_period=1.0)
+    simulation.submit_workload(workload.generate())
+    result = simulation.run()
+
+    # 5. Report.
+    metrics = result.metrics
+    print(f"\nPolicy:            {metrics.policy}")
+    print(f"Completed tasks:   {metrics.task_count}")
+    print(f"Makespan:          {metrics.makespan:.1f} s")
+    print(f"Total energy:      {metrics.total_energy / 1e3:.1f} kJ")
+    print(f"Energy per task:   {metrics.energy_per_task:.0f} J")
+    print("Tasks per cluster:")
+    for cluster, count in sorted(metrics.tasks_per_cluster.items()):
+        print(f"  {cluster:12s} {count}")
+    print("Energy per cluster (kJ):")
+    for cluster, joules in sorted(result.energy_by_cluster.items()):
+        print(f"  {cluster:12s} {joules / 1e3:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of middleware-level dynamic green scheduling.
+
+This package reproduces the system described in
+
+    Balouek-Thomert, Caron, Lefèvre.
+    "Energy-Aware Server Provisioning by Introducing Middleware-Level
+    Dynamic Green Scheduling", HPPAC / IPDPSW 2015.
+
+The package is organised as a stack of substrates with the paper's
+contribution on top:
+
+``repro.infrastructure``
+    Models of heterogeneous servers, clusters and platforms: FLOPS,
+    cores, idle/peak power, boot cost, wattmeter sampling, thermal and
+    electricity-cost environments.
+
+``repro.simulation``
+    A small discrete-event simulation engine, task/queue models and
+    metric collection (makespan, energy, per-node task counts).
+
+``repro.workload``
+    Synthetic workload generators reproducing the paper's burst +
+    continuous request pattern and CPU-bound task definition.
+
+``repro.middleware``
+    An in-process model of the DIET middleware: server daemons (SeD),
+    agent hierarchies (Master Agent / Local Agents), estimation vectors
+    and plug-in schedulers.
+
+``repro.core``
+    The paper's contribution: the GreenPerf metric, provider/user
+    preference model, the score function Sc, the greedy candidate
+    selection (Algorithm 1) and the adaptive provisioning planner that
+    reacts to energy-related events.
+
+``repro.experiments``
+    Ready-to-run reproductions of every table and figure in the paper's
+    evaluation section.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,167 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table2                 # Table II comparison
+    python -m repro fig2                   # task distribution under POWER
+    python -m repro fig3                   # task distribution under PERFORMANCE
+    python -m repro fig4                   # task distribution under RANDOM
+    python -m repro fig5                   # energy per cluster
+    python -m repro fig6                   # heterogeneity study, 2 server types
+    python -m repro fig7                   # heterogeneity study, 4 server types
+    python -m repro fig9                   # adaptive provisioning scenario
+    python -m repro table1                 # the experimental infrastructure
+    python -m repro table3                 # the simulated cluster specs
+
+Every command accepts ``--quick`` to run a reduced configuration (useful
+for smoke tests) — the default is the paper-scale configuration used by
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.adaptive import AdaptiveExperimentConfig, run_adaptive_experiment
+from repro.experiments.greenperf_eval import run_heterogeneity_experiment
+from repro.experiments.placement import run_placement_experiment, run_policy_comparison
+from repro.experiments.presets import (
+    PlacementExperimentConfig,
+    paper_infrastructure_table,
+    simulated_clusters_table,
+)
+from repro.experiments.reporting import (
+    format_adaptive_series,
+    format_energy_per_cluster,
+    format_metric_points,
+    format_table2,
+    format_task_distribution,
+)
+
+#: Reduced placement configuration used by ``--quick``.
+QUICK_PLACEMENT = PlacementExperimentConfig(
+    nodes_per_cluster=1,
+    requests_per_core=4,
+    task_flop=2.0e10,
+    continuous_rate=1.0,
+    sample_period=5.0,
+)
+
+
+def _placement_config(quick: bool) -> PlacementExperimentConfig:
+    return QUICK_PLACEMENT if quick else PlacementExperimentConfig()
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    rows = paper_infrastructure_table()
+    lines = ["Table I — experimental infrastructure"]
+    lines.append(f"{'Cluster':<12}{'Nodes':>6}  {'CPU':<22}{'Memory':>8}  Role")
+    for row in rows:
+        lines.append(
+            f"{row['cluster']:<12}{row['nodes']:>6}  {row['cpu']:<22}"
+            f"{row['memory_gb']:>6.0f}GB  {row['role']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    comparison = run_policy_comparison(config=_placement_config(args.quick))
+    lines = ["Table II — makespan and energy per policy", format_table2(comparison)]
+    lines.append(
+        f"POWER saves {comparison.energy_saving('POWER', 'RANDOM'):.1%} vs RANDOM "
+        f"and {comparison.energy_saving('POWER', 'PERFORMANCE'):.1%} vs PERFORMANCE "
+        f"(paper: 25% / 19%)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    rows = simulated_clusters_table()
+    lines = ["Table III — energy consumption of simulated clusters"]
+    lines.append(f"{'Cluster':<10}{'Idle (W)':>10}{'Peak (W)':>10}")
+    for row in rows:
+        lines.append(
+            f"{row['cluster']:<10}{row['idle_consumption']:>10.0f}"
+            f"{row['peak_consumption']:>10.0f}"
+        )
+    return "\n".join(lines)
+
+
+def _distribution_command(policy: str, figure: str) -> Callable[[argparse.Namespace], str]:
+    def _command(args: argparse.Namespace) -> str:
+        result = run_placement_experiment(policy, _placement_config(args.quick))
+        return format_task_distribution(
+            result.metrics.tasks_per_node,
+            title=f"{figure}: tasks per node ({policy})",
+        )
+
+    return _command
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    comparison = run_policy_comparison(config=_placement_config(args.quick))
+    return "Figure 5 — energy per cluster (J)\n" + format_energy_per_cluster(comparison)
+
+
+def _heterogeneity_command(kinds: int) -> Callable[[argparse.Namespace], str]:
+    def _command(args: argparse.Namespace) -> str:
+        tasks = 20 if args.quick else 50
+        result = run_heterogeneity_experiment(kinds=kinds, tasks_per_client=tasks)
+        return format_metric_points(result)
+
+    return _command
+
+
+def _cmd_fig9(args: argparse.Namespace) -> str:
+    config = (
+        AdaptiveExperimentConfig(duration=60 * 60.0) if args.quick else AdaptiveExperimentConfig()
+    )
+    result = run_adaptive_experiment(config)
+    return format_adaptive_series(result)
+
+
+_COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
+    "table1": ("print the Table I infrastructure", _cmd_table1),
+    "table2": ("reproduce Table II (makespan & energy per policy)", _cmd_table2),
+    "table3": ("print the Table III simulated cluster specs", _cmd_table3),
+    "fig2": ("reproduce Figure 2 (POWER task distribution)", _distribution_command("POWER", "Figure 2")),
+    "fig3": ("reproduce Figure 3 (PERFORMANCE task distribution)", _distribution_command("PERFORMANCE", "Figure 3")),
+    "fig4": ("reproduce Figure 4 (RANDOM task distribution)", _distribution_command("RANDOM", "Figure 4")),
+    "fig5": ("reproduce Figure 5 (energy per cluster)", _cmd_fig5),
+    "fig6": ("reproduce Figure 6 (2 server types)", _heterogeneity_command(2)),
+    "fig7": ("reproduce Figure 7 (4 server types)", _heterogeneity_command(4)),
+    "fig9": ("reproduce Figure 9 (adaptive provisioning)", _cmd_fig9),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the green-scheduling paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (help_text, handler) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--quick",
+            action="store_true",
+            help="run a reduced configuration instead of the paper-scale one",
+        )
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse arguments, run the selected command, print its report."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = args.handler(args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

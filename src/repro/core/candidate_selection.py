@@ -1,0 +1,98 @@
+"""Greedy candidate-server selection (Algorithm 1).
+
+"When creating a list of candidate nodes, we aim to minimize the total
+energy consumed by the active servers by maximizing the use of the most
+energy efficient servers" (Section III-C).  Algorithm 1:
+
+1. ``P_Total`` — the accumulated power of every server;
+2. ``P_required = Preference_provider × P_Total`` — the power budget;
+3. walk the GreenPerf-sorted server list, adding servers until the
+   accumulated power reaches the budget.
+
+The function below keeps the paper's semantics (the first server whose
+addition crosses the budget is still included, because the ``while`` loop
+tests *before* adding) and adds two practical refinements used by the
+adaptive experiments: an optional cap on the number of selected servers
+and an optional guarantee of at least one server whenever the budget is
+positive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.greenperf import GreenPerfRanking, RankedServer
+from repro.util.validation import ensure_in_range
+
+
+def select_candidate_servers(
+    ranking: GreenPerfRanking | Sequence[RankedServer],
+    provider_preference: float,
+    *,
+    max_servers: int | None = None,
+    minimum_one: bool = True,
+) -> tuple[RankedServer, ...]:
+    """Run Algorithm 1 over a GreenPerf-sorted server list.
+
+    Parameters
+    ----------
+    ranking:
+        Servers sorted by ascending GreenPerf (``T`` in the paper).
+    provider_preference:
+        ``Preference_provider`` in ``[0, 1]``; the fraction of the total
+        power the candidate set may draw.
+    max_servers:
+        Optional hard cap on the number of selected servers (used when the
+        administrator rules express the budget as a node count).
+    minimum_one:
+        When true, a strictly positive budget always yields at least one
+        server even if the most efficient server alone exceeds the budget.
+
+    Returns
+    -------
+    The selected servers (``RES``), still in GreenPerf order.
+    """
+    ensure_in_range(provider_preference, "provider_preference", 0.0, 1.0)
+    entries: Sequence[RankedServer] = (
+        ranking.entries if isinstance(ranking, GreenPerfRanking) else tuple(ranking)
+    )
+    if not entries:
+        return ()
+
+    total_power = sum(entry.power for entry in entries)
+    required_power = provider_preference * total_power
+
+    selected: list[RankedServer] = []
+    accumulated = 0.0
+    for entry in entries:
+        if accumulated >= required_power:
+            break
+        if max_servers is not None and len(selected) >= max_servers:
+            break
+        selected.append(entry)
+        accumulated += entry.power
+
+    if not selected and minimum_one and provider_preference > 0.0:
+        cap = max_servers if max_servers is not None else 1
+        if cap >= 1:
+            selected.append(entries[0])
+
+    return tuple(selected)
+
+
+def candidate_count_for_fraction(total_nodes: int, fraction: float) -> int:
+    """Number of candidate nodes for a rule expressed as a fraction of all nodes.
+
+    The administrator rules of Section IV-C are phrased as "candidate nodes
+    = 20 % of all nodes" etc.; the count is the floor of the fraction
+    (20 % of 12 nodes → 2 candidates, 70 % → 8, matching the counts quoted
+    in the paper's Figure 9 narrative), kept within ``[0, total_nodes]``,
+    and a strictly positive fraction yields at least one node.
+    """
+    if total_nodes < 0:
+        raise ValueError(f"total_nodes must be >= 0, got {total_nodes}")
+    ensure_in_range(fraction, "fraction", 0.0, 1.0)
+    count = int(total_nodes * fraction)
+    if fraction > 0.0 and count == 0 and total_nodes > 0:
+        count = 1
+    return min(total_nodes, count)

@@ -1,0 +1,96 @@
+"""Energy-related events (Section III-C and IV-C).
+
+The adaptive provisioning experiment injects four events "at the scheduler
+level": scheduled electricity-cost changes (known ahead of time through
+the energy provider's schedule) and unexpected temperature excursions
+(detected by the monitoring system when they happen).
+
+Events are plain data: the provisioning planner decides how to react to
+them through the administrator rules.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.util.validation import ensure_in_range, ensure_non_negative
+
+
+@dataclass(frozen=True)
+class EnergyEvent(ABC):
+    """Base class for energy-related events.
+
+    ``time`` is when the event takes effect; ``scheduled`` distinguishes
+    events the scheduler can learn about in advance (electricity tariffs)
+    from unexpected ones (heat peaks) it only sees once they occur.
+    """
+
+    time: float
+    scheduled: bool = True
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.time, "time")
+
+    @property
+    @abstractmethod
+    def kind(self) -> str:
+        """Short machine-readable event kind."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable description used in traces and reports."""
+
+    def visible_at(self, now: float, *, lookahead: float = 0.0) -> bool:
+        """Whether the scheduler can know about this event at time ``now``.
+
+        Scheduled events become visible ``lookahead`` seconds early (the
+        paper's master agent learns about tariff changes at t+20 minutes
+        for an event at t+40); unexpected events are only visible once they
+        have happened.
+        """
+        ensure_non_negative(lookahead, "lookahead")
+        if self.scheduled:
+            return now >= self.time - lookahead
+        return now >= self.time
+
+
+@dataclass(frozen=True)
+class ElectricityCostEvent(EnergyEvent):
+    """The electricity-cost ratio becomes ``cost`` at ``time`` (scheduled)."""
+
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_in_range(self.cost, "cost", 0.0, 1.0)
+
+    @property
+    def kind(self) -> str:
+        return "electricity_cost"
+
+    def describe(self) -> str:
+        flavour = "scheduled" if self.scheduled else "unexpected"
+        return f"[{flavour}] electricity cost -> {self.cost:.2f} at t={self.time:.0f}s"
+
+
+@dataclass(frozen=True)
+class TemperatureEvent(EnergyEvent):
+    """The machine-room temperature becomes ``temperature`` °C at ``time``.
+
+    Temperature excursions are unexpected by default (Events 3 and 4 of
+    Figure 9 are both marked "unexpected" in the paper).
+    """
+
+    temperature: float = 25.0
+    scheduled: bool = False
+
+    @property
+    def kind(self) -> str:
+        return "temperature"
+
+    def describe(self) -> str:
+        flavour = "scheduled" if self.scheduled else "unexpected"
+        return (
+            f"[{flavour}] temperature -> {self.temperature:.1f} degC at t={self.time:.0f}s"
+        )

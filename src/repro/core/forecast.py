@@ -1,0 +1,184 @@
+"""Resource-usage forecasting for the provider preference.
+
+Section III-B models the provider preference from two inputs, one of which
+is a *resource usage forecast*: "using historical data to identify
+patterns and ensure the responsiveness of the platform during peak
+periods"; Section III-C adds that the provisioning information "can be
+obtained by predicting future usage from historical data".
+
+This module provides that forecasting substrate:
+
+* :class:`UsageHistory` — a time-stamped record of platform utilisation
+  samples (fraction of busy cores, in ``[0, 1]``).
+* :class:`MovingAverageForecaster` — predicts the near future as the mean
+  of the recent past (the baseline every monitoring system ships).
+* :class:`PeriodicProfileForecaster` — learns a periodic profile (e.g. a
+  daily pattern binned by hour) and predicts the utilisation of a future
+  instant from the matching bin of past periods — the "identify patterns"
+  forecaster the paper alludes to.
+* :func:`provider_preference_from_forecast` — the glue that turns a
+  forecast and an electricity-cost schedule into the
+  ``Preference_provider(u, c)`` value of Equation 1 for a future instant,
+  ready to be fed to Algorithm 1 or to the provisioning planner.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.preferences import ProviderPreference
+from repro.infrastructure.electricity import ElectricityCostSchedule
+from repro.util.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True, order=True)
+class UsageSample:
+    """One utilisation observation: the platform was ``utilization`` busy at ``time``."""
+
+    time: float
+    utilization: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.time, "time")
+        ensure_in_range(self.utilization, "utilization", 0.0, 1.0)
+
+
+class UsageHistory:
+    """Append-only, time-ordered record of utilisation samples."""
+
+    def __init__(self, samples: Sequence[UsageSample] = ()) -> None:
+        self._samples: list[UsageSample] = sorted(samples)
+        self._times: list[float] = [sample.time for sample in self._samples]
+
+    def record(self, time: float, utilization: float) -> UsageSample:
+        """Append one sample (times may arrive out of order)."""
+        sample = UsageSample(time=time, utilization=utilization)
+        index = bisect.bisect(self._times, sample.time)
+        self._times.insert(index, sample.time)
+        self._samples.insert(index, sample)
+        return sample
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> tuple[UsageSample, ...]:
+        """All samples in chronological order."""
+        return tuple(self._samples)
+
+    def between(self, start: float, end: float) -> tuple[UsageSample, ...]:
+        """Samples with ``start <= time <= end``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return tuple(self._samples[lo:hi])
+
+    def latest(self) -> UsageSample | None:
+        """The most recent sample, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+
+class UsageForecaster(ABC):
+    """Predicts platform utilisation at a future time from a history."""
+
+    @abstractmethod
+    def predict(self, history: UsageHistory, at_time: float) -> float:
+        """Predicted utilisation in ``[0, 1]`` at ``at_time``."""
+
+
+@dataclass(frozen=True)
+class MovingAverageForecaster(UsageForecaster):
+    """Predicts the future as the mean utilisation of the last ``window`` seconds."""
+
+    window: float = 3600.0
+    default: float = 0.5
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.window, "window")
+        ensure_in_range(self.default, "default", 0.0, 1.0)
+
+    def predict(self, history: UsageHistory, at_time: float) -> float:
+        latest = history.latest()
+        if latest is None:
+            return self.default
+        recent = history.between(max(latest.time - self.window, 0.0), latest.time)
+        if not recent:
+            return self.default
+        return float(np.mean([sample.utilization for sample in recent]))
+
+
+@dataclass(frozen=True)
+class PeriodicProfileForecaster(UsageForecaster):
+    """Learns a periodic utilisation profile and predicts from it.
+
+    The history is folded modulo ``period`` into ``bins`` equal slots; the
+    prediction for a future instant is the mean of the samples that fell in
+    the same slot during past periods, falling back to the overall mean
+    (then to ``default``) when the slot has never been observed.
+    """
+
+    period: float = 24 * 3600.0
+    bins: int = 24
+    default: float = 0.5
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.period, "period")
+        if self.bins < 1:
+            raise ValueError(f"bins must be >= 1, got {self.bins}")
+        ensure_in_range(self.default, "default", 0.0, 1.0)
+
+    def _bin_of(self, time: float) -> int:
+        return int((time % self.period) / self.period * self.bins) % self.bins
+
+    def predict(self, history: UsageHistory, at_time: float) -> float:
+        ensure_non_negative(at_time, "at_time")
+        if len(history) == 0:
+            return self.default
+        target_bin = self._bin_of(at_time)
+        in_bin = [
+            sample.utilization
+            for sample in history.samples
+            if self._bin_of(sample.time) == target_bin
+        ]
+        if in_bin:
+            return float(np.mean(in_bin))
+        return float(np.mean([sample.utilization for sample in history.samples]))
+
+    def profile(self, history: UsageHistory) -> tuple[float, ...]:
+        """The learned per-bin mean utilisation (``default`` for empty bins)."""
+        sums = np.zeros(self.bins)
+        counts = np.zeros(self.bins)
+        for sample in history.samples:
+            index = self._bin_of(sample.time)
+            sums[index] += sample.utilization
+            counts[index] += 1
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), self.default)
+        return tuple(float(value) for value in means)
+
+
+def provider_preference_from_forecast(
+    forecaster: UsageForecaster,
+    history: UsageHistory,
+    electricity: ElectricityCostSchedule,
+    at_time: float,
+    *,
+    weights: ProviderPreference | None = None,
+) -> float:
+    """``Preference_provider(u, c)`` (Equation 1) for a future instant.
+
+    ``u`` is the forecast utilisation at ``at_time`` and ``c`` the scheduled
+    electricity cost at the same instant.  The returned value feeds either
+    Algorithm 1 (as the power-cap factor, via
+    :meth:`ProviderPreference.available_fraction`) or the provisioning
+    planner's rules.
+    """
+    weights = weights or ProviderPreference()
+    utilization = forecaster.predict(history, at_time)
+    cost = electricity.cost_at(at_time)
+    return weights.value(utilization, cost)

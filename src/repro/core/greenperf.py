@@ -1,0 +1,180 @@
+"""The GreenPerf metric.
+
+Section III-A: "Using the ratio Power Consumption / Performance of each
+computing server, a ranking of available nodes is defined" — the *lower*
+the ratio, the more energy-efficient the server, so GreenPerf rankings are
+ascending.
+
+Two ways of obtaining the power term are supported, mirroring the paper's
+discussion:
+
+* ``PowerEstimationMode.STATIC`` — use the node's nameplate full-load power
+  (the result of a one-off benchmark);
+* ``PowerEstimationMode.DYNAMIC`` — use the mean power observed over the
+  execution of past requests (the paper's favoured approach, reported by
+  the SeD through the ``MEAN_POWER`` estimation tag).
+
+Performance defaults to the server's aggregate FLOP/s; a per-core variant
+is available because single-core task latency is sometimes the quantity of
+interest (the paper's secondary parameter is "the node's performance"
+without committing to either).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.infrastructure.node import Node, NodeSpec
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.util.validation import ensure_positive
+
+
+class PowerEstimationMode(enum.Enum):
+    """How the power term of GreenPerf is obtained."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+class PerformanceBasis(enum.Enum):
+    """Which performance figure divides the power term."""
+
+    TOTAL_FLOPS = "total_flops"
+    FLOPS_PER_CORE = "flops_per_core"
+
+
+def greenperf_of_node(
+    node: Node | NodeSpec,
+    *,
+    measured_power: float | None = None,
+    basis: PerformanceBasis = PerformanceBasis.TOTAL_FLOPS,
+) -> float:
+    """GreenPerf ratio of a node (W per FLOP/s, lower is better).
+
+    ``measured_power`` overrides the nameplate peak power with a dynamic
+    measurement when available.
+    """
+    spec = node.spec if isinstance(node, Node) else node
+    power = spec.peak_power if measured_power is None else measured_power
+    ensure_positive(power, "power")
+    performance = (
+        spec.total_flops if basis is PerformanceBasis.TOTAL_FLOPS else spec.flops_per_core
+    )
+    return power / performance
+
+
+def greenperf_of_vector(
+    vector: EstimationVector,
+    *,
+    mode: PowerEstimationMode = PowerEstimationMode.DYNAMIC,
+    basis: PerformanceBasis = PerformanceBasis.TOTAL_FLOPS,
+) -> float:
+    """GreenPerf ratio computed from an estimation vector.
+
+    In DYNAMIC mode the power term is the SeD-reported mean power over past
+    requests; in STATIC mode it is the nameplate peak power.
+    """
+    if mode is PowerEstimationMode.DYNAMIC:
+        power = vector.get(EstimationTags.MEAN_POWER)
+    else:
+        power = vector.get(EstimationTags.PEAK_POWER)
+    ensure_positive(power, "power")
+    if basis is PerformanceBasis.TOTAL_FLOPS:
+        performance = vector.get(EstimationTags.TOTAL_FLOPS)
+    else:
+        performance = vector.get(EstimationTags.FLOPS_PER_CORE)
+    ensure_positive(performance, "performance")
+    return power / performance
+
+
+@dataclass(frozen=True)
+class RankedServer:
+    """One entry of a GreenPerf ranking."""
+
+    server: str
+    greenperf: float
+    power: float
+    performance: float
+
+
+class GreenPerfRanking:
+    """An ascending GreenPerf ranking of a set of servers.
+
+    The ranking is the data structure consumed by Algorithm 1 (candidate
+    selection) and by the GreenPerf plug-in scheduler: position 0 is the
+    most energy-efficient server.
+    """
+
+    def __init__(
+        self,
+        vectors: Sequence[EstimationVector],
+        *,
+        mode: PowerEstimationMode = PowerEstimationMode.DYNAMIC,
+        basis: PerformanceBasis = PerformanceBasis.TOTAL_FLOPS,
+    ) -> None:
+        self.mode = mode
+        self.basis = basis
+        entries: list[RankedServer] = []
+        for vector in vectors:
+            ratio = greenperf_of_vector(vector, mode=mode, basis=basis)
+            power = (
+                vector.get(EstimationTags.MEAN_POWER)
+                if mode is PowerEstimationMode.DYNAMIC
+                else vector.get(EstimationTags.PEAK_POWER)
+            )
+            performance = (
+                vector.get(EstimationTags.TOTAL_FLOPS)
+                if basis is PerformanceBasis.TOTAL_FLOPS
+                else vector.get(EstimationTags.FLOPS_PER_CORE)
+            )
+            entries.append(
+                RankedServer(
+                    server=vector.server,
+                    greenperf=ratio,
+                    power=power,
+                    performance=performance,
+                )
+            )
+        # Stable sort: ties keep collection order, which keeps the ranking
+        # deterministic for homogeneous clusters.
+        entries.sort(key=lambda entry: entry.greenperf)
+        self._entries = tuple(entries)
+
+    # -- sequence protocol ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> RankedServer:
+        return self._entries[index]
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[RankedServer, ...]:
+        """Ranking entries, most energy-efficient first."""
+        return self._entries
+
+    @property
+    def server_names(self) -> tuple[str, ...]:
+        """Server names in ranking order."""
+        return tuple(entry.server for entry in self._entries)
+
+    def position_of(self, server: str) -> int:
+        """Zero-based rank of ``server``.  Raises :class:`KeyError` if absent."""
+        for index, entry in enumerate(self._entries):
+            if entry.server == server:
+                return index
+        raise KeyError(f"server {server!r} is not part of this ranking")
+
+    def best(self) -> RankedServer:
+        """The most energy-efficient server (the paper's ``S0``)."""
+        if not self._entries:
+            raise ValueError("ranking is empty")
+        return self._entries[0]
+
+    def total_power(self) -> float:
+        """Sum of the power figures of all ranked servers (W) — Algorithm 1's ``P_Total``."""
+        return sum(entry.power for entry in self._entries)

@@ -1,0 +1,241 @@
+"""The scheduling policies compared in the paper's evaluation.
+
+Section IV-A compares three placement policies:
+
+* ``PERFORMANCE`` — "giving priority to the fastest nodes";
+* ``POWER`` — "giving priority to the most energy-efficient nodes"
+  (lowest power consumption);
+* ``RANDOM`` — "selects servers at random".
+
+Section IV-B adds the ``GreenPerf`` ranking (power / performance) that
+sits between POWER and PERFORMANCE, and Section III-C describes the full
+score-based green scheduler (Equations 4–6) that additionally accounts for
+waiting queues, boot costs and the user preference.
+
+All policies are DIET plug-in schedulers
+(:class:`~repro.middleware.plugin_scheduler.PluginScheduler`): they sort
+candidate estimation vectors best-first and are installed on every agent
+of the hierarchy.
+
+A note on availability: the deterministic policies prefer servers that
+have a free core *right now* over servers that would queue the task, then
+apply their criterion.  This models the behaviour visible in the paper's
+Figures 2–4, where secondary clusters absorb tasks "when Taurus nodes are
+overloaded" and the slow Sagittaire nodes are "less frequently available
+when decisions are made".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.greenperf import PowerEstimationMode, greenperf_of_vector
+from repro.core.scoring import ServerScore
+from repro.middleware.estimation import EstimationTags
+from repro.middleware.plugin_scheduler import CandidateEntry, PluginScheduler
+from repro.middleware.requests import ServiceRequest
+
+
+def _availability_rank(entry: CandidateEntry) -> int:
+    """0 when the server can start the task immediately, 1 otherwise."""
+    return 0 if entry.estimation.get(EstimationTags.FREE_CORES, 0.0) > 0 else 1
+
+
+class PowerPolicy(PluginScheduler):
+    """POWER: prioritise the servers drawing the least power.
+
+    The power figure is the dynamic mean-power estimate when available
+    (``use_dynamic_power=True``, the default, matching the paper's
+    preferred estimation) or the nameplate peak power otherwise.
+    """
+
+    name = "POWER"
+
+    def __init__(self, *, use_dynamic_power: bool = True) -> None:
+        self.use_dynamic_power = use_dynamic_power
+
+    def _power_of(self, entry: CandidateEntry) -> float:
+        tag = (
+            EstimationTags.MEAN_POWER
+            if self.use_dynamic_power
+            else EstimationTags.PEAK_POWER
+        )
+        return entry.estimation.get(tag)
+
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        return sorted(
+            candidates,
+            key=lambda entry: (
+                _availability_rank(entry),
+                self._power_of(entry),
+                entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
+                entry.server,
+            ),
+        )
+
+
+class PerformancePolicy(PluginScheduler):
+    """PERFORMANCE: prioritise the fastest servers (highest FLOPS)."""
+
+    name = "PERFORMANCE"
+
+    def __init__(self, *, per_core: bool = True) -> None:
+        #: Tasks are single-core, so per-core speed is the meaningful figure
+        #: for latency; set ``per_core=False`` to rank by aggregate FLOPS.
+        self.per_core = per_core
+
+    def _speed_of(self, entry: CandidateEntry) -> float:
+        tag = (
+            EstimationTags.FLOPS_PER_CORE if self.per_core else EstimationTags.TOTAL_FLOPS
+        )
+        return entry.estimation.get(tag)
+
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        return sorted(
+            candidates,
+            key=lambda entry: (
+                _availability_rank(entry),
+                -self._speed_of(entry),
+                entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
+                entry.server,
+            ),
+        )
+
+
+class RandomPolicy(PluginScheduler):
+    """RANDOM: pick uniformly among the servers, preferring available ones.
+
+    The policy is stateful (it owns a seeded RNG) so that experiment runs
+    are reproducible while successive requests still see different random
+    orderings.
+    """
+
+    name = "RANDOM"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        indexed = list(candidates)
+        noise = self._rng.random(len(indexed))
+        order = sorted(
+            range(len(indexed)),
+            key=lambda i: (_availability_rank(indexed[i]), noise[i]),
+        )
+        return [indexed[i] for i in order]
+
+    def aggregate(
+        self,
+        request: ServiceRequest,
+        partial_rankings: Sequence[Sequence[CandidateEntry]],
+    ) -> list[CandidateEntry]:
+        # Re-shuffling at every level would bias the election towards the
+        # last-sorted subtree; a single shuffle over the merged set keeps
+        # the selection uniform.
+        merged: list[CandidateEntry] = []
+        for ranking in partial_rankings:
+            merged.extend(ranking)
+        return self.sort(request, merged)
+
+
+class GreenPerfPolicy(PluginScheduler):
+    """GreenPerf: prioritise the lowest power/performance ratio."""
+
+    name = "GREENPERF"
+
+    def __init__(
+        self, *, mode: PowerEstimationMode = PowerEstimationMode.DYNAMIC
+    ) -> None:
+        self.mode = mode
+
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        return sorted(
+            candidates,
+            key=lambda entry: (
+                _availability_rank(entry),
+                greenperf_of_vector(entry.estimation, mode=self.mode),
+                entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
+                entry.server,
+            ),
+        )
+
+
+class GreenSchedulerPolicy(PluginScheduler):
+    """The full score-based green scheduler (Equations 4–6).
+
+    The score already folds in waiting queues and boot costs, so no
+    availability pre-ranking is applied: an overloaded efficient server
+    naturally loses to an idle slightly-less-efficient one once its queue
+    grows.  The user preference comes from the request; a fixed
+    ``default_preference`` applies when the request carries none.
+    """
+
+    name = "GREEN_SCORE"
+
+    def __init__(
+        self,
+        *,
+        default_preference: float = 0.0,
+        use_dynamic_power: bool = True,
+    ) -> None:
+        self.default_preference = default_preference
+        self.use_dynamic_power = use_dynamic_power
+
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        preference = request.user_preference
+        if preference == 0.0:
+            preference = self.default_preference
+        scored: list[tuple[float, str, CandidateEntry]] = []
+        for entry in candidates:
+            evaluation = ServerScore.from_vector(
+                entry.estimation,
+                flop=request.task.flop,
+                user_preference=preference,
+                use_dynamic_power=self.use_dynamic_power,
+            )
+            scored.append((evaluation.score, entry.server, entry))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [entry for _, _, entry in scored]
+
+
+#: Registry used by experiments and the CLI-style examples.
+_POLICIES = {
+    "POWER": PowerPolicy,
+    "PERFORMANCE": PerformancePolicy,
+    "RANDOM": RandomPolicy,
+    "GREENPERF": GreenPerfPolicy,
+    "GREEN_SCORE": GreenSchedulerPolicy,
+}
+
+
+def policy_by_name(name: str, **kwargs) -> PluginScheduler:
+    """Instantiate a policy from its (case-insensitive) name.
+
+    ``kwargs`` are forwarded to the policy constructor — e.g.
+    ``policy_by_name("random", seed=3)``.
+    """
+    key = name.strip().upper()
+    try:
+        factory = _POLICIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names of all registered policies."""
+    return tuple(sorted(_POLICIES))

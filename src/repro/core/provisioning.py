@@ -1,0 +1,397 @@
+"""Adaptive resource provisioning (Section III-C, evaluated in Section IV-C).
+
+The :class:`ProvisioningPlanner` is the piece that makes the scheduling
+*dynamic*:
+
+* every ``check_period`` seconds (paper: 10 minutes) it reads the platform
+  status — temperature and electricity cost — "with the ability to get
+  information about the scheduled events occurring at t + 20" minutes
+  (``lookahead``);
+* it evaluates the administrator rules
+  (:class:`~repro.core.rules.AdministratorRules`) to obtain the target
+  number of *candidate nodes*;
+* it moves the current candidate set towards the target progressively
+  (``ramp_up_step`` / ``ramp_down_step`` nodes per check), because
+  simultaneous starts would cause heat peaks and abrupt shut-downs would
+  kill running work;
+* candidates are always chosen in GreenPerf order: the most
+  energy-efficient nodes are enabled first and disabled last;
+* it installs a candidate filter on the Master Agent so that only
+  candidate nodes are eligible for election, and (optionally) powers
+  de-provisioned nodes off once they are idle;
+* every check appends a :class:`~repro.util.xmlplan.PlanningEntry` to the
+  provisioning planning, reproducing the shared XML status file of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.greenperf import PerformanceBasis, greenperf_of_node
+from repro.core.rules import AdministratorRules, PlatformStatus, RuleDecision
+from repro.infrastructure.electricity import ElectricityCostSchedule
+from repro.infrastructure.node import Node, NodeState
+from repro.infrastructure.platform import Platform
+from repro.infrastructure.thermal import ThermalEnvironment
+from repro.middleware.agents import MasterAgent
+from repro.middleware.plugin_scheduler import CandidateEntry
+from repro.middleware.requests import ServiceRequest
+from repro.middleware.sed import ServerDaemon
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.trace import ExecutionTrace
+from repro.util.rwlock import ReadersWriterLock
+from repro.util.validation import ensure_positive
+from repro.util.xmlplan import PlanningEntry, write_planning
+
+
+@dataclass(frozen=True)
+class ProvisioningConfig:
+    """Tunable parameters of the provisioning planner.
+
+    Defaults reproduce the paper's adaptive experiment: a 10-minute check
+    period, a 20-minute look-ahead on scheduled events, ramping of a few
+    nodes per check in each direction.
+    """
+
+    check_period: float = 600.0
+    lookahead: float = 1200.0
+    ramp_up_step: int = 2
+    ramp_down_step: int = 4
+    manage_power: bool = False
+    initial_candidates: int | None = None
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.check_period, "check_period")
+        if self.lookahead < 0:
+            raise ValueError(f"lookahead must be >= 0, got {self.lookahead}")
+        if self.ramp_up_step < 1:
+            raise ValueError(f"ramp_up_step must be >= 1, got {self.ramp_up_step}")
+        if self.ramp_down_step < 1:
+            raise ValueError(f"ramp_down_step must be >= 1, got {self.ramp_down_step}")
+        if self.initial_candidates is not None and self.initial_candidates < 0:
+            raise ValueError(
+                f"initial_candidates must be >= 0, got {self.initial_candidates}"
+            )
+
+
+@dataclass(frozen=True)
+class ProvisioningDecision:
+    """Snapshot of one status check."""
+
+    time: float
+    temperature: float
+    electricity_cost: float
+    rule_label: str
+    target_candidates: int
+    candidate_count: int
+    candidate_nodes: tuple[str, ...] = field(default_factory=tuple)
+
+
+class ProvisioningPlanner:
+    """Adapts the candidate-node set to energy-related events."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        master: MasterAgent,
+        rules: AdministratorRules,
+        electricity: ElectricityCostSchedule,
+        thermal: ThermalEnvironment,
+        *,
+        seds: Mapping[str, ServerDaemon] | None = None,
+        engine: SimulationEngine | None = None,
+        trace: ExecutionTrace | None = None,
+        config: ProvisioningConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.master = master
+        self.rules = rules
+        self.electricity = electricity
+        self.thermal = thermal
+        self.seds = dict(seds) if seds is not None else {}
+        self.engine = engine
+        self.trace = trace
+        self.config = config or ProvisioningConfig()
+        self.plan_lock = ReadersWriterLock()
+        self._planning: list[PlanningEntry] = []
+        self._decisions: list[ProvisioningDecision] = []
+        self._candidates: set[str] = set()
+        self._installed = False
+        self._initialise_candidates()
+
+    # -- initialisation ------------------------------------------------------------
+    def _initialise_candidates(self) -> None:
+        ranking = self._greenperf_order()
+        if self.config.initial_candidates is not None:
+            count = min(self.config.initial_candidates, len(ranking))
+        else:
+            status = self.status_at(0.0)
+            count = self.rules.evaluate(status).candidate_count
+        self._candidates = set(ranking[:count])
+
+    def _greenperf_order(self) -> list[str]:
+        """All node names sorted by ascending GreenPerf (best first).
+
+        The power term uses the SeD's dynamic estimate when a SeD mapping
+        was provided and the node has history, otherwise the nameplate
+        figure — the same static/dynamic duality as the metric itself.
+        """
+        def ratio(node: Node) -> float:
+            measured: float | None = None
+            sed = self.seds.get(node.name)
+            if sed is not None and sed.observed_request_count > 0:
+                measured = sed.dynamic_mean_power()
+            return greenperf_of_node(
+                node, measured_power=measured, basis=PerformanceBasis.TOTAL_FLOPS
+            )
+
+        ordered = sorted(self.platform.nodes, key=lambda node: (ratio(node), node.name))
+        return [node.name for node in ordered]
+
+    # -- candidate filter -----------------------------------------------------------
+    def install(self) -> None:
+        """Install this planner as the Master Agent's candidate filter."""
+        self.master.set_candidate_filter(self._filter_candidates)
+        self._installed = True
+
+    def _filter_candidates(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> Sequence[CandidateEntry]:
+        allowed = self._candidates
+        filtered = [entry for entry in candidates if entry.server in allowed]
+        # Never leave a request unservable because of provisioning: if the
+        # filter would reject everything, fall back to the full candidate
+        # list (the paper's client always finds at least the minimum pool).
+        return filtered if filtered else list(candidates)
+
+    # -- status & decisions -----------------------------------------------------------
+    @property
+    def candidate_nodes(self) -> frozenset[str]:
+        """Names of the nodes currently eligible for election."""
+        return frozenset(self._candidates)
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidate nodes."""
+        return len(self._candidates)
+
+    @property
+    def decisions(self) -> Sequence[ProvisioningDecision]:
+        """All per-check decisions in chronological order."""
+        return tuple(self._decisions)
+
+    @property
+    def planning_entries(self) -> Sequence[PlanningEntry]:
+        """The provisioning-planning samples accumulated so far (Fig. 8)."""
+        with self.plan_lock.read_locked():
+            return tuple(self._planning)
+
+    def status_at(self, time: float) -> PlatformStatus:
+        """The platform status visible to the scheduler at ``time``."""
+        return PlatformStatus(
+            time=time,
+            temperature=self.thermal.temperature(
+                time, platform_power_watts=self.platform.current_power()
+            ),
+            electricity_cost=self.electricity.cost_at(time),
+            total_nodes=len(self.platform),
+        )
+
+    def _target_candidates(self, now: float) -> tuple[RuleDecision, PlatformStatus]:
+        """Rule decision combining the current status and the look-ahead.
+
+        An out-of-range temperature *now* always wins (unexpected events
+        cannot be anticipated); otherwise the planner provisions for the
+        cheaper of the current and upcoming electricity costs so that the
+        candidate pool is ready when a scheduled tariff drop takes effect
+        (Event 1 of Figure 9).
+        """
+        status_now = self.status_at(now)
+        decision_now = self.rules.evaluate(status_now)
+        if status_now.temperature > self.thermal.threshold:
+            return decision_now, status_now
+        future_time = now + self.config.lookahead
+        status_future = PlatformStatus(
+            time=future_time,
+            temperature=status_now.temperature,
+            electricity_cost=self.electricity.cost_at(future_time),
+            total_nodes=status_now.total_nodes,
+        )
+        decision_future = self.rules.evaluate(status_future)
+        if decision_future.candidate_count > decision_now.candidate_count:
+            return decision_future, status_now
+        return decision_now, status_now
+
+    # -- the periodic check -------------------------------------------------------------
+    def check(self, now: float) -> ProvisioningDecision:
+        """Perform one status check and move the candidate set one ramp step."""
+        decision, status = self._target_candidates(now)
+        target = decision.candidate_count
+        current = len(self._candidates)
+
+        if target > current:
+            new_count = min(target, current + self.config.ramp_up_step)
+        elif target < current:
+            new_count = max(target, current - self.config.ramp_down_step)
+        else:
+            new_count = current
+
+        if new_count != current:
+            self._resize_candidates(new_count, now)
+
+        entry = PlanningEntry(
+            timestamp=now,
+            temperature=status.temperature,
+            candidates=len(self._candidates),
+            electricity_cost=status.electricity_cost,
+        )
+        with self.plan_lock.write_locked():
+            self._planning.append(entry)
+
+        snapshot = ProvisioningDecision(
+            time=now,
+            temperature=status.temperature,
+            electricity_cost=status.electricity_cost,
+            rule_label=decision.rule.label,
+            target_candidates=target,
+            candidate_count=len(self._candidates),
+            candidate_nodes=tuple(sorted(self._candidates)),
+        )
+        self._decisions.append(snapshot)
+        if self.trace is not None:
+            self.trace.record(
+                now,
+                ExecutionTrace.STATUS_CHECK,
+                temperature=status.temperature,
+                electricity_cost=status.electricity_cost,
+                rule=decision.rule.label,
+                target=target,
+                candidates=len(self._candidates),
+            )
+        return snapshot
+
+    def _resize_candidates(self, new_count: int, now: float) -> None:
+        ranking = self._greenperf_order()
+        current = self._candidates
+        if new_count > len(current):
+            # Enable the most efficient non-candidate nodes first.
+            for name in ranking:
+                if len(current) >= new_count:
+                    break
+                if name not in current:
+                    current.add(name)
+                    self._power_on(name, now)
+        else:
+            # Disable the least efficient candidates first.
+            for name in reversed(ranking):
+                if len(current) <= new_count:
+                    break
+                if name in current:
+                    current.remove(name)
+                    self._power_off(name, now)
+        if self.trace is not None:
+            self.trace.record(
+                now,
+                ExecutionTrace.CANDIDATES_CHANGED,
+                candidates=len(current),
+                nodes=tuple(sorted(current)),
+            )
+
+    # -- node power management ---------------------------------------------------------
+    def _power_on(self, node_name: str, now: float) -> None:
+        if not self.config.manage_power:
+            return
+        node = self.platform.node(node_name)
+        if node.state is not NodeState.OFF:
+            return
+        completion = node.begin_boot(now)
+        if self.trace is not None:
+            self.trace.record(
+                now, ExecutionTrace.NODE_BOOT_STARTED, node=node_name, ready_at=completion
+            )
+        if self.engine is not None and completion > now:
+            self.engine.schedule(
+                completion,
+                lambda node=node: self._finish_boot(node),
+                label=f"boot-{node_name}",
+            )
+        else:
+            self._finish_boot(node)
+
+    def _finish_boot(self, node: Node) -> None:
+        if node.state is NodeState.BOOTING:
+            node.complete_boot()
+            if self.trace is not None:
+                time = self.engine.now if self.engine is not None else 0.0
+                self.trace.record(
+                    time, ExecutionTrace.NODE_BOOT_COMPLETED, node=node.name
+                )
+
+    def _power_off(self, node_name: str, now: float) -> None:
+        """Power a de-provisioned node off once it is idle.
+
+        Running tasks are allowed to complete (the paper lets "tasks in
+        progress complete, resulting in a delayed drop of energy
+        consumption"); a busy node simply stays on — it is no longer a
+        candidate, so it drains naturally and is turned off at a later
+        check if power management is enabled.
+        """
+        if not self.config.manage_power:
+            return
+        node = self.platform.node(node_name)
+        if node.state is NodeState.ON and node.busy_cores == 0:
+            node.power_off()
+            if self.trace is not None:
+                self.trace.record(now, ExecutionTrace.NODE_POWERED_OFF, node=node_name)
+
+    def drain_deprovisioned_nodes(self, now: float) -> int:
+        """Power off former candidates that have finished their work.
+
+        Returns the number of nodes turned off.  Called by the adaptive
+        experiment after task completions when power management is on.
+        """
+        if not self.config.manage_power:
+            return 0
+        turned_off = 0
+        for node in self.platform.nodes:
+            if node.name in self._candidates:
+                continue
+            if node.state is NodeState.ON and node.busy_cores == 0:
+                node.power_off()
+                turned_off += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        now, ExecutionTrace.NODE_POWERED_OFF, node=node.name
+                    )
+        return turned_off
+
+    # -- periodic scheduling ------------------------------------------------------------
+    def start(self, *, first_check_at: float | None = None) -> None:
+        """Schedule periodic checks on the simulation engine."""
+        if self.engine is None:
+            raise RuntimeError("an engine is required to schedule periodic checks")
+        if not self._installed:
+            self.install()
+        start_time = (
+            first_check_at if first_check_at is not None else self.engine.now
+        )
+
+        def _periodic() -> None:
+            self.check(self.engine.now)
+            self.drain_deprovisioned_nodes(self.engine.now)
+            self.engine.schedule_in(
+                self.config.check_period, _periodic, label="provisioning-check"
+            )
+
+        self.engine.schedule(start_time, _periodic, label="provisioning-check")
+
+    # -- persistence ----------------------------------------------------------------------
+    def write_planning_file(self, path: str | Path) -> None:
+        """Dump the accumulated planning to an XML file (Fig. 8 format)."""
+        write_planning(path, self._planning, lock=self.plan_lock)
+
+    def candidate_history(self) -> Sequence[tuple[float, int]]:
+        """``(time, candidate_count)`` series across all checks (Figure 9)."""
+        return tuple((d.time, d.candidate_count) for d in self._decisions)

@@ -1,0 +1,145 @@
+"""Completion-time, energy and score models (Equations 4–6).
+
+For a task ``i`` of ``n_i`` FLOPs on a server ``s`` the paper defines:
+
+Equation 4 — completion time::
+
+    time = w_s + n_i / f_s          if the server is active
+    time = bt_s + n_i / f_s         if the server is inactive (must boot)
+
+Equation 5 — energy consumption::
+
+    energy = c_s * n_i / f_s                    if active
+    energy = bt_s * bc_s + c_s * n_i / f_s      if inactive
+
+Equation 6 — score (lower is better)::
+
+    Sc = time ** (2 / (P + 1) - 1) * energy
+
+where ``P`` is the (clamped) user preference.  Equation 7 sanity-checks
+the exponent: P → −0.9 makes the score time-dominated, P → 0 yields
+time × energy, P → +0.9 makes it energy-dominated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.preferences import PRACTICAL_USER_BOUND, UserPreference
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.util.validation import ensure_non_negative, ensure_positive
+
+
+def completion_time(
+    flop: float,
+    flops_per_second: float,
+    *,
+    active: bool,
+    waiting_time: float = 0.0,
+    boot_time: float = 0.0,
+) -> float:
+    """Equation 4: expected completion time of a task on a server (s)."""
+    ensure_non_negative(flop, "flop")
+    ensure_positive(flops_per_second, "flops_per_second")
+    ensure_non_negative(waiting_time, "waiting_time")
+    ensure_non_negative(boot_time, "boot_time")
+    execution = flop / flops_per_second
+    if active:
+        return waiting_time + execution
+    return boot_time + execution
+
+
+def energy_consumption(
+    flop: float,
+    flops_per_second: float,
+    *,
+    active: bool,
+    full_load_power: float,
+    boot_time: float = 0.0,
+    boot_power: float = 0.0,
+) -> float:
+    """Equation 5: expected energy of a task on a server (J)."""
+    ensure_non_negative(flop, "flop")
+    ensure_positive(flops_per_second, "flops_per_second")
+    ensure_non_negative(full_load_power, "full_load_power")
+    ensure_non_negative(boot_time, "boot_time")
+    ensure_non_negative(boot_power, "boot_power")
+    execution_energy = full_load_power * flop / flops_per_second
+    if active:
+        return execution_energy
+    return boot_time * boot_power + execution_energy
+
+
+def preference_exponent(user_preference: float) -> float:
+    """The exponent ``2 / (P + 1) − 1`` of Equation 6.
+
+    The user preference is clamped to the practical ``[-0.9, 0.9]`` range
+    before use, which keeps the exponent finite (P = −1 would make it blow
+    up) — exactly the reason the paper recommends the clamp.
+    """
+    clamped = UserPreference(user_preference).clamped(PRACTICAL_USER_BOUND)
+    return 2.0 / (clamped + 1.0) - 1.0
+
+
+def score(time: float, energy: float, user_preference: float) -> float:
+    """Equation 6: the server score ``Sc`` (lower is better)."""
+    ensure_positive(time, "time")
+    ensure_non_negative(energy, "energy")
+    return time ** preference_exponent(user_preference) * energy
+
+
+@dataclass(frozen=True)
+class ServerScore:
+    """The scored evaluation of one server for one task."""
+
+    server: str
+    time: float
+    energy: float
+    score: float
+
+    @classmethod
+    def from_vector(
+        cls,
+        vector: EstimationVector,
+        *,
+        flop: float,
+        user_preference: float,
+        use_dynamic_power: bool = True,
+    ) -> "ServerScore":
+        """Score a server from its estimation vector.
+
+        ``active`` servers (powered on) pay their waiting queue; inactive
+        servers pay their boot time and boot energy (Equations 4–5).  The
+        full-load power ``c_s`` is taken from the dynamic mean-power tag by
+        default, falling back to the nameplate peak power when requested.
+        """
+        active = vector.available
+        flops = vector.get(EstimationTags.FLOPS_PER_CORE)
+        waiting = vector.get(EstimationTags.WAITING_TIME, 0.0)
+        boot_time = vector.get(EstimationTags.BOOT_TIME, 0.0)
+        boot_power = vector.get(EstimationTags.BOOT_POWER, 0.0)
+        if use_dynamic_power:
+            full_load_power = vector.get(EstimationTags.MEAN_POWER)
+        else:
+            full_load_power = vector.get(EstimationTags.PEAK_POWER)
+        time = completion_time(
+            flop,
+            flops,
+            active=active,
+            waiting_time=waiting,
+            boot_time=boot_time,
+        )
+        energy = energy_consumption(
+            flop,
+            flops,
+            active=active,
+            full_load_power=full_load_power,
+            boot_time=boot_time,
+            boot_power=boot_power,
+        )
+        return cls(
+            server=vector.server,
+            time=time,
+            energy=energy,
+            score=score(time, energy, user_preference),
+        )

@@ -1,0 +1,114 @@
+"""Statistical analysis helpers for experiment results.
+
+The paper reports single-run numbers; a reproduction should quantify how
+stable those numbers are.  This module provides:
+
+* :func:`summarize_runs` — mean / standard deviation / min / max /
+  confidence interval over repeated runs of a metric (used for the RANDOM
+  policy, whose placement is stochastic);
+* :func:`energy_delay_product` — the classic combined metric (energy ×
+  makespan), useful for single-number policy comparisons;
+* :func:`relative_change` — percentage difference helper used when
+  comparing against the paper's reported factors;
+* :func:`random_policy_spread` — runs the placement experiment over
+  several RANDOM seeds and summarises the makespan and energy spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.placement import run_placement_experiment
+from repro.experiments.presets import PlacementExperimentConfig
+from repro.simulation.metrics import ExperimentMetrics
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Summary statistics of one metric over repeated runs."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_halfwidth: float
+
+    @property
+    def ci_low(self) -> float:
+        """Lower bound of the ~95 % confidence interval on the mean."""
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        """Upper bound of the ~95 % confidence interval on the mean."""
+        return self.mean + self.ci_halfwidth
+
+
+def summarize_runs(values: Sequence[float]) -> RunStatistics:
+    """Mean, spread and a normal-approximation 95 % CI of ``values``."""
+    if not values:
+        raise ValueError("at least one value is required")
+    array = np.asarray(values, dtype=float)
+    count = int(array.size)
+    mean = float(array.mean())
+    std = float(array.std(ddof=1)) if count > 1 else 0.0
+    halfwidth = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
+    return RunStatistics(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        ci_halfwidth=halfwidth,
+    )
+
+
+def energy_delay_product(metrics: ExperimentMetrics) -> float:
+    """Energy × makespan (J·s) — lower is better on both axes at once."""
+    return metrics.total_energy * metrics.makespan
+
+
+def relative_change(value: float, reference: float) -> float:
+    """``(value - reference) / reference``; raises on a zero reference."""
+    if reference == 0:
+        raise ZeroDivisionError("reference value must be non-zero")
+    return (value - reference) / reference
+
+
+@dataclass(frozen=True)
+class RandomSpread:
+    """Spread of the RANDOM policy over several seeds."""
+
+    makespan: RunStatistics
+    energy: RunStatistics
+    per_seed: Mapping[int, ExperimentMetrics]
+
+
+def random_policy_spread(
+    config: PlacementExperimentConfig | None = None,
+    *,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> RandomSpread:
+    """Run the placement experiment under RANDOM for each seed and summarise.
+
+    The paper presents RANDOM as a single run; this helper quantifies how
+    much of the reported gap could be noise (it is small: the RANDOM policy
+    randomises placement, not the workload).
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    config = config or PlacementExperimentConfig()
+    per_seed: dict[int, ExperimentMetrics] = {}
+    for seed in seeds:
+        result = run_placement_experiment("RANDOM", config, seed=seed)
+        per_seed[seed] = result.metrics
+    return RandomSpread(
+        makespan=summarize_runs([m.makespan for m in per_seed.values()]),
+        energy=summarize_runs([m.total_energy for m in per_seed.values()]),
+        per_seed=per_seed,
+    )

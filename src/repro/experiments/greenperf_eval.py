@@ -1,0 +1,294 @@
+"""The GreenPerf heterogeneity study (Section IV-B, Figures 6 and 7).
+
+The paper evaluates the relevance of the GreenPerf ratio in environments
+of low and high heterogeneity through a dedicated simulation:
+
+* low heterogeneity — two server types with similar specifications
+  (the Orion and Taurus clusters of Table I);
+* high heterogeneity — four server types, adding the simulated Sim1 and
+  Sim2 clusters of Table III;
+* "Each task is computed with the maximal performance and power of the
+  servers.  During the simulation, each server is limited to the
+  computation of one task";
+* two clients submit requests.
+
+We reproduce this with a small closed-loop simulator: each client keeps
+one request in flight; at every submission the policy under test ranks the
+*currently free* servers through their (static) estimation vectors and the
+task executes on the elected server at its peak performance and peak
+power.  The figure coordinates are the averages over all tasks of the
+energy consumed and the completion time; the RANDOM policy is run over
+several seeds and contributes an area (the shaded region of the figures).
+
+Expected shape: with low heterogeneity the POWER (G) and GreenPerf (GP)
+points coincide and sit apart from PERFORMANCE (P) — the ratio adds
+nothing; with higher heterogeneity GreenPerf clearly improves the
+energy/performance trade-off over both single-criterion policies, which is
+the paper's conclusion that "the effectiveness of this metric strongly
+relies on the heterogeneity of servers".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.policies import policy_by_name
+from repro.infrastructure.node import NodeSpec
+from repro.infrastructure.platform import (
+    orion_spec,
+    simulated_cluster_specs,
+    taurus_spec,
+)
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.middleware.plugin_scheduler import CandidateEntry
+from repro.middleware.requests import ServiceRequest
+from repro.simulation.task import Task
+from repro.util.validation import ensure_positive
+
+#: Policies plotted as single points in Figures 6 and 7.
+POINT_POLICIES = ("POWER", "GREENPERF", "PERFORMANCE")
+
+#: Default per-task cost of the heterogeneity study.
+DEFAULT_TASK_FLOP = 5.0e10
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One point of the metric-comparison plot: a policy's averages."""
+
+    policy: str
+    mean_energy_per_task: float
+    mean_completion_time: float
+    total_energy: float
+    makespan: float
+    tasks_per_type: Mapping[str, int]
+
+
+@dataclass(frozen=True)
+class RandomArea:
+    """The spread of the RANDOM policy over several seeds (the shaded area)."""
+
+    energy_min: float
+    energy_max: float
+    time_min: float
+    time_max: float
+
+    def contains(self, energy: float, time: float, *, tolerance: float = 0.0) -> bool:
+        """Whether a point falls inside the (tolerance-expanded) area."""
+        return (
+            self.energy_min - tolerance <= energy <= self.energy_max + tolerance
+            and self.time_min - tolerance <= time <= self.time_max + tolerance
+        )
+
+
+@dataclass(frozen=True)
+class HeterogeneityResult:
+    """Full result of one heterogeneity scenario."""
+
+    kinds: int
+    points: Mapping[str, MetricPoint]
+    random_area: RandomArea
+
+    def point(self, policy: str) -> MetricPoint:
+        """The metric point of one policy."""
+        return self.points[policy.upper()]
+
+    def tradeoff_score(self, policy: str) -> float:
+        """Normalised energy × time product of one policy (lower is better).
+
+        Energy is normalised by the best (lowest) energy among the three
+        plotted policies and time by the best time, so a policy that
+        matches the best energy *and* the best time scores 1.0.  This is
+        the quantitative rendering of the figures' "better trade-off"
+        reading.
+        """
+        energies = [p.mean_energy_per_task for p in self.points.values()]
+        times = [p.mean_completion_time for p in self.points.values()]
+        best_energy = min(energies)
+        best_time = min(times)
+        target = self.point(policy)
+        return (target.mean_energy_per_task / best_energy) * (
+            target.mean_completion_time / best_time
+        )
+
+    def greenperf_improves_tradeoff(self) -> bool:
+        """Whether GreenPerf achieves the best trade-off score of the three."""
+        scores = {name: self.tradeoff_score(name) for name in self.points}
+        return scores["GREENPERF"] <= min(scores.values()) + 1e-9
+
+
+def heterogeneity_server_specs(kinds: int) -> tuple[NodeSpec, ...]:
+    """The single-task server specs of one scenario.
+
+    ``kinds=2`` uses the Orion and Taurus types of Table I; ``kinds=4``
+    adds the Sim1 and Sim2 types of Table III.
+    """
+    if kinds not in (2, 3, 4):
+        raise ValueError(f"kinds must be 2, 3 or 4, got {kinds}")
+    specs = [orion_spec(), taurus_spec()]
+    sims = simulated_cluster_specs()
+    if kinds >= 3:
+        specs.append(sims["sim1"])
+    if kinds == 4:
+        specs.append(sims["sim2"])
+    return tuple(specs)
+
+
+@dataclass
+class _SimServer:
+    """One single-task server of the closed-loop simulation."""
+
+    name: str
+    kind: str
+    flops: float
+    peak_power: float
+    busy_until: float = 0.0
+
+    def estimation(self, now: float) -> EstimationVector:
+        """Static estimation vector: peak power and nameplate performance."""
+        free = now >= self.busy_until
+        vector = EstimationVector(server=self.name, cluster=self.kind)
+        vector.set(EstimationTags.FLOPS_PER_CORE, self.flops)
+        vector.set(EstimationTags.TOTAL_FLOPS, self.flops)
+        vector.set(EstimationTags.FREE_CORES, 1.0 if free else 0.0)
+        vector.set(EstimationTags.TOTAL_CORES, 1.0)
+        vector.set(EstimationTags.WAITING_TIME, max(self.busy_until - now, 0.0))
+        vector.set(EstimationTags.MEAN_POWER, self.peak_power)
+        vector.set(EstimationTags.IDLE_POWER, self.peak_power)
+        vector.set(EstimationTags.PEAK_POWER, self.peak_power)
+        vector.set(EstimationTags.BOOT_POWER, 0.0)
+        vector.set(EstimationTags.BOOT_TIME, 0.0)
+        vector.set(EstimationTags.NODE_AVAILABLE, 1.0)
+        return vector
+
+
+def _run_policy(
+    policy_name: str,
+    kinds: int,
+    *,
+    servers_per_type: int,
+    tasks_per_client: int,
+    clients: int,
+    task_flop: float,
+    seed: int = 0,
+) -> MetricPoint:
+    """Closed-loop run of one policy over one scenario."""
+    ensure_positive(task_flop, "task_flop")
+    scheduler_kwargs = {"seed": seed} if policy_name.upper() == "RANDOM" else {}
+    scheduler = policy_by_name(policy_name, **scheduler_kwargs)
+
+    servers: list[_SimServer] = []
+    for spec in heterogeneity_server_specs(kinds):
+        for index in range(servers_per_type):
+            servers.append(
+                _SimServer(
+                    name=f"{spec.cluster}-{index}",
+                    kind=spec.cluster,
+                    flops=spec.flops_per_core,
+                    peak_power=spec.peak_power,
+                )
+            )
+
+    # Each client keeps exactly one request in flight; the next submission
+    # happens when the previous task completes.  A heap of (ready_time,
+    # client_id) keeps the interleaving deterministic.
+    ready: list[tuple[float, int]] = [(0.0, client) for client in range(clients)]
+    heapq.heapify(ready)
+    remaining = {client: tasks_per_client for client in range(clients)}
+
+    energies: list[float] = []
+    durations: list[float] = []
+    tasks_per_type: dict[str, int] = {}
+    makespan = 0.0
+
+    while ready:
+        now, client = heapq.heappop(ready)
+        if remaining[client] <= 0:
+            continue
+        free = [server for server in servers if server.busy_until <= now]
+        if not free:
+            # No server available: wait until the earliest one frees up.
+            next_free = min(server.busy_until for server in servers)
+            heapq.heappush(ready, (next_free, client))
+            continue
+        task = Task(flop=task_flop, arrival_time=now, client=f"client-{client}")
+        request = ServiceRequest.from_task(task)
+        candidates = [
+            CandidateEntry.from_vector(server.estimation(now)) for server in free
+        ]
+        ranked = scheduler.sort(request, candidates)
+        elected = ranked[0].server
+        server = next(s for s in servers if s.name == elected)
+
+        duration = task_flop / server.flops
+        energy = server.peak_power * duration
+        server.busy_until = now + duration
+        energies.append(energy)
+        durations.append(duration)
+        tasks_per_type[server.kind] = tasks_per_type.get(server.kind, 0) + 1
+        makespan = max(makespan, now + duration)
+
+        remaining[client] -= 1
+        if remaining[client] > 0:
+            heapq.heappush(ready, (now + duration, client))
+
+    return MetricPoint(
+        policy=scheduler.name,
+        mean_energy_per_task=float(np.mean(energies)) if energies else 0.0,
+        mean_completion_time=float(np.mean(durations)) if durations else 0.0,
+        total_energy=float(np.sum(energies)),
+        makespan=makespan,
+        tasks_per_type=tasks_per_type,
+    )
+
+
+def run_heterogeneity_experiment(
+    *,
+    kinds: int = 2,
+    servers_per_type: int = 2,
+    tasks_per_client: int = 50,
+    clients: int = 2,
+    task_flop: float = DEFAULT_TASK_FLOP,
+    random_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> HeterogeneityResult:
+    """Run one heterogeneity scenario (Figure 6 with ``kinds=2``, Figure 7 with 4).
+
+    Returns the POWER / GreenPerf / PERFORMANCE metric points and the
+    RANDOM area computed over ``random_seeds``.
+    """
+    points: dict[str, MetricPoint] = {}
+    for policy in POINT_POLICIES:
+        points[policy] = _run_policy(
+            policy,
+            kinds,
+            servers_per_type=servers_per_type,
+            tasks_per_client=tasks_per_client,
+            clients=clients,
+            task_flop=task_flop,
+        )
+
+    random_points = [
+        _run_policy(
+            "RANDOM",
+            kinds,
+            servers_per_type=servers_per_type,
+            tasks_per_client=tasks_per_client,
+            clients=clients,
+            task_flop=task_flop,
+            seed=seed,
+        )
+        for seed in random_seeds
+    ]
+    energies = [p.mean_energy_per_task for p in random_points]
+    times = [p.mean_completion_time for p in random_points]
+    area = RandomArea(
+        energy_min=min(energies),
+        energy_max=max(energies),
+        time_min=min(times),
+        time_max=max(times),
+    )
+    return HeterogeneityResult(kinds=kinds, points=points, random_area=area)

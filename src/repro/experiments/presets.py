@@ -1,0 +1,171 @@
+"""Experimental presets: Tables I and III and calibrated workload parameters.
+
+The placement experiment of Section IV-A uses:
+
+* the platform of Table I (4 Orion + 4 Taurus + 4 Sagittaire SeD nodes);
+* 10 client requests per available core;
+* a burst of ``r`` simultaneous requests followed by a continuous phase at
+  two requests per second;
+* one task = a CPU-bound problem of 1e8 successive additions.
+
+The paper's task is an interpreted addition loop; its wall-clock duration
+on the testbed is not reported directly, and the published makespans
+(≈ 2,300 s) cannot simultaneously hold with a strictly 2 req/s arrival
+process unless the platform is saturated.  Our node model expresses
+performance in FLOP/s, so the preset calibrates the per-task cost
+(``CALIBRATED_TASK_FLOP``) such that the offered load sits just below the
+platform capacity (utilisation ≈ 0.85): high enough that placement
+decisions matter and queues form on the favoured clusters, low enough that
+no policy collapses — which is the regime the paper's Table II and
+Figures 2–4 describe.  This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.infrastructure.platform import (
+    grid5000_placement_platform,
+    orion_spec,
+    sagittaire_spec,
+    simulated_cluster_specs,
+    taurus_spec,
+)
+from repro.util.validation import ensure_positive
+from repro.workload.generator import BurstThenContinuousWorkload
+
+#: Per-task cost calibrated so one task lasts ≈ 22 s on a Taurus core: the
+#: favoured cluster can then absorb the 2 req/s continuous phase on its own,
+#: which is what produces the strong per-cluster concentration of
+#: Figures 2–3 while keeping every policy's makespan bounded.
+CALIBRATED_TASK_FLOP = 5.0e10
+
+#: The paper's request volume: ten requests per available core.
+REQUESTS_PER_CORE = 10
+
+#: The continuous-phase arrival rate (requests per second).
+CONTINUOUS_RATE = 2.0
+
+
+@dataclass(frozen=True)
+class PlacementExperimentConfig:
+    """Parameters of the workload-placement experiment.
+
+    The defaults reproduce the paper's setup; tests shrink
+    ``nodes_per_cluster``, ``requests_per_core`` and ``task_flop`` to keep
+    runtimes small while preserving every code path.
+    """
+
+    nodes_per_cluster: int = 4
+    requests_per_core: int = REQUESTS_PER_CORE
+    task_flop: float = CALIBRATED_TASK_FLOP
+    continuous_rate: float = CONTINUOUS_RATE
+    burst_size: int | None = None
+    random_seed: int = 0
+    sample_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_cluster < 1:
+            raise ValueError(
+                f"nodes_per_cluster must be >= 1, got {self.nodes_per_cluster}"
+            )
+        if self.requests_per_core < 1:
+            raise ValueError(
+                f"requests_per_core must be >= 1, got {self.requests_per_core}"
+            )
+        ensure_positive(self.task_flop, "task_flop")
+        ensure_positive(self.continuous_rate, "continuous_rate")
+        ensure_positive(self.sample_period, "sample_period")
+        if self.burst_size is not None and self.burst_size < 0:
+            raise ValueError(f"burst_size must be >= 0, got {self.burst_size}")
+
+    def build_platform(self):
+        """The Table I platform sized for this configuration."""
+        return grid5000_placement_platform(nodes_per_cluster=self.nodes_per_cluster)
+
+    def total_tasks(self, total_cores: int) -> int:
+        """Total request count for a platform with ``total_cores`` cores."""
+        return self.requests_per_core * total_cores
+
+    def effective_burst(self, total_cores: int) -> int:
+        """Burst size: explicit value, or one request per core by default."""
+        if self.burst_size is not None:
+            return min(self.burst_size, self.total_tasks(total_cores))
+        return min(total_cores, self.total_tasks(total_cores))
+
+    def build_workload(self, total_cores: int) -> BurstThenContinuousWorkload:
+        """The burst + continuous workload sized for ``total_cores``."""
+        total = self.total_tasks(total_cores)
+        return BurstThenContinuousWorkload(
+            total_tasks=total,
+            burst_size=self.effective_burst(total_cores),
+            continuous_rate=self.continuous_rate,
+            flop_per_task=self.task_flop,
+        )
+
+
+def paper_infrastructure_table() -> Sequence[Mapping[str, object]]:
+    """Table I — the experimental infrastructure, one row per cluster role.
+
+    The Master Agent and client rows are included for completeness even
+    though they do not execute tasks in the reproduction.
+    """
+    orion = orion_spec()
+    taurus = taurus_spec()
+    sagittaire = sagittaire_spec()
+    return (
+        {
+            "cluster": "Orion",
+            "nodes": 4,
+            "cpu": "2x6cores @2.30Ghz",
+            "memory_gb": orion.memory_gb,
+            "role": "SED",
+            "cores_per_node": orion.cores,
+        },
+        {
+            "cluster": "Sagittaire",
+            "nodes": 4,
+            "cpu": "2x1core @2.40Ghz",
+            "memory_gb": sagittaire.memory_gb,
+            "role": "SED",
+            "cores_per_node": sagittaire.cores,
+        },
+        {
+            "cluster": "Taurus",
+            "nodes": 4,
+            "cpu": "2x6cores @2.30Ghz",
+            "memory_gb": taurus.memory_gb,
+            "role": "SED",
+            "cores_per_node": taurus.cores,
+        },
+        {
+            "cluster": "Sagittaire",
+            "nodes": 1,
+            "cpu": "2x1core @2.40Ghz",
+            "memory_gb": sagittaire.memory_gb,
+            "role": "MA",
+            "cores_per_node": sagittaire.cores,
+        },
+        {
+            "cluster": "Sagittaire",
+            "nodes": 1,
+            "cpu": "2x1core @2.40Ghz",
+            "memory_gb": sagittaire.memory_gb,
+            "role": "Client",
+            "cores_per_node": sagittaire.cores,
+        },
+    )
+
+
+def simulated_clusters_table() -> Sequence[Mapping[str, float]]:
+    """Table III — idle and peak consumption of the simulated clusters."""
+    specs = simulated_cluster_specs()
+    return tuple(
+        {
+            "cluster": name.capitalize().replace("Sim", "Sim"),
+            "idle_consumption": spec.idle_power,
+            "peak_consumption": spec.peak_power,
+        }
+        for name, spec in specs.items()
+    )

@@ -1,0 +1,115 @@
+"""Plain-text renderers for the paper's tables and figures.
+
+Benchmarks and examples print these renderings so that a reproduction run
+produces output directly comparable to the paper: the rows of Table II,
+the per-node task histograms of Figures 2–4, the per-cluster energy bars
+of Figure 5, the metric points of Figures 6–7 and the candidate/power time
+series of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.adaptive import AdaptiveExperimentResult
+from repro.experiments.greenperf_eval import HeterogeneityResult
+from repro.experiments.placement import PlacementComparison
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_table2(comparison: PlacementComparison) -> str:
+    """Table II: makespan and energy per scheduling policy."""
+    policies = list(comparison.policies)
+    headers = [""] + policies
+    makespan_row = ["Makespan (s)"] + [
+        f"{comparison.metrics(p).makespan:,.0f}" for p in policies
+    ]
+    energy_row = ["Energy (J)"] + [
+        f"{comparison.metrics(p).total_energy:,.0f}" for p in policies
+    ]
+    return _render_table(headers, [makespan_row, energy_row])
+
+
+def format_task_distribution(
+    distribution: Mapping[str, int], *, title: str = "Tasks per node"
+) -> str:
+    """Figures 2–4: number of tasks executed by each node."""
+    headers = ["node", "tasks"]
+    rows = [
+        [node, str(count)]
+        for node, count in sorted(distribution.items())
+    ]
+    return f"{title}\n" + _render_table(headers, rows)
+
+
+def format_energy_per_cluster(comparison: PlacementComparison) -> str:
+    """Figure 5: energy consumption per cluster, one column per policy."""
+    per_policy = comparison.energy_per_cluster()
+    clusters = sorted({c for values in per_policy.values() for c in values})
+    headers = ["cluster"] + list(per_policy)
+    rows = []
+    for cluster in clusters:
+        row = [cluster] + [
+            f"{per_policy[policy].get(cluster, 0.0):,.0f}" for policy in per_policy
+        ]
+        rows.append(row)
+    return _render_table(headers, rows)
+
+
+def format_metric_points(result: HeterogeneityResult) -> str:
+    """Figures 6–7: the POWER / GreenPerf / PERFORMANCE points and RANDOM area."""
+    headers = ["policy", "mean energy/task (J)", "mean completion time (s)"]
+    rows = [
+        [
+            name,
+            f"{point.mean_energy_per_task:,.1f}",
+            f"{point.mean_completion_time:,.1f}",
+        ]
+        for name, point in result.points.items()
+    ]
+    area = result.random_area
+    rows.append(
+        [
+            "RANDOM (area)",
+            f"{area.energy_min:,.1f} - {area.energy_max:,.1f}",
+            f"{area.time_min:,.1f} - {area.time_max:,.1f}",
+        ]
+    )
+    title = f"Metric comparison with {result.kinds} server types"
+    return f"{title}\n" + _render_table(headers, rows)
+
+
+def format_adaptive_series(result: AdaptiveExperimentResult) -> str:
+    """Figure 9: candidate nodes and average power over time."""
+    headers = ["t (min)", "candidates", "avg power (W)"]
+    power_by_window = dict(result.power_series)
+    rows = []
+    for time, candidates in result.candidate_series:
+        window_end = None
+        for end in sorted(power_by_window):
+            if end >= time:
+                window_end = end
+                break
+        power = power_by_window.get(window_end, 0.0) if window_end is not None else 0.0
+        rows.append([f"{time / 60.0:,.0f}", str(candidates), f"{power:,.0f}"])
+    events = "\n".join(event.describe() for event in result.events)
+    return (
+        "Adaptive provisioning (Figure 9)\n"
+        + _render_table(headers, rows)
+        + "\nInjected events:\n"
+        + events
+    )

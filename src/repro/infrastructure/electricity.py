@@ -1,0 +1,93 @@
+"""Electricity-cost schedule.
+
+Section IV-C defines the cost of energy "as a ratio between the cost over
+a given period and the theoretical maximum cost" with three states:
+
+* Regular time — cost 1.0 (most expensive),
+* Off-peak time 1 — cost 0.8,
+* Off-peak time 2 — cost 0.5 (least expensive).
+
+The schedule is a piecewise-constant function of simulated time built from
+:class:`TariffPeriod` segments.  The provisioning planner queries both the
+*current* cost and the cost at a *future* time (the Master Agent learns of
+scheduled cost changes 20 minutes ahead), so lookahead is a first-class
+operation here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.validation import ensure_in_range, ensure_non_negative
+
+#: The three cost levels used throughout the paper's experiments.
+REGULAR_COST = 1.0
+OFF_PEAK_1_COST = 0.8
+OFF_PEAK_2_COST = 0.5
+
+
+@dataclass(frozen=True, order=True)
+class TariffPeriod:
+    """The electricity cost becomes ``cost`` at simulated time ``start`` (s)."""
+
+    start: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.start, "start")
+        ensure_in_range(self.cost, "cost", 0.0, 1.0)
+
+
+class ElectricityCostSchedule:
+    """Piecewise-constant electricity cost over simulated time."""
+
+    def __init__(
+        self,
+        periods: Iterable[TariffPeriod] = (),
+        *,
+        default_cost: float = REGULAR_COST,
+    ) -> None:
+        ensure_in_range(default_cost, "default_cost", 0.0, 1.0)
+        self.default_cost = float(default_cost)
+        self._periods: list[TariffPeriod] = sorted(periods)
+        self._starts: list[float] = [p.start for p in self._periods]
+
+    @classmethod
+    def constant(cls, cost: float) -> "ElectricityCostSchedule":
+        """Schedule with a single constant cost."""
+        return cls(default_cost=cost)
+
+    def add_period(self, period: TariffPeriod) -> None:
+        """Insert a tariff change, keeping the schedule sorted."""
+        index = bisect.bisect(self._starts, period.start)
+        self._starts.insert(index, period.start)
+        self._periods.insert(index, period)
+
+    @property
+    def periods(self) -> Sequence[TariffPeriod]:
+        """Tariff changes sorted by start time."""
+        return tuple(self._periods)
+
+    def cost_at(self, time: float) -> float:
+        """Electricity cost ratio in effect at simulated ``time``."""
+        index = bisect.bisect_right(self._starts, time) - 1
+        if index < 0:
+            return self.default_cost
+        return self._periods[index].cost
+
+    def next_change_after(self, time: float) -> TariffPeriod | None:
+        """The first tariff change strictly after ``time``, if any."""
+        index = bisect.bisect_right(self._starts, time)
+        if index >= len(self._periods):
+            return None
+        return self._periods[index]
+
+    def changes_between(self, start: float, end: float) -> Sequence[TariffPeriod]:
+        """Tariff changes with ``start < period.start <= end``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        lo = bisect.bisect_right(self._starts, start)
+        hi = bisect.bisect_right(self._starts, end)
+        return tuple(self._periods[lo:hi])

@@ -1,0 +1,261 @@
+"""Server (node) model.
+
+A node exposes exactly the observables the paper's scheduler needs
+(Section III-C):
+
+``f_s``
+    FLOPS of the server.  Tasks in the paper are single-core CPU-bound
+    problems, so the per-core figure drives individual task durations while
+    the total figure (cores × per-core FLOPS) represents throughput.
+``c_s``
+    Average power consumption when fully loaded (W).
+``bc_s``
+    Power consumption during the boot process (W).
+``bt_s``
+    Boot time (s).
+``w_s``
+    Estimation of the task waiting queue (s), tracked by the simulation.
+
+The node also carries a small state machine (``OFF → BOOTING → ON``) used
+by the adaptive provisioning experiments, and tracks how many cores are
+currently busy so that the wattmeter can sample a utilisation-dependent
+power draw.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.infrastructure.power_model import LinearPowerModel, PowerModel
+from repro.util.validation import ensure_non_negative, ensure_positive
+
+
+class NodeState(enum.Enum):
+    """Lifecycle states of a server."""
+
+    OFF = "off"
+    BOOTING = "booting"
+    ON = "on"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a server.
+
+    Parameters
+    ----------
+    name:
+        Unique node identifier, e.g. ``"taurus-3"``.
+    cluster:
+        Name of the cluster the node belongs to, e.g. ``"taurus"``.
+    cores:
+        Number of CPU cores.  A node cannot execute more concurrent
+        single-core tasks than it has cores (Section IV-A).
+    flops_per_core:
+        Sustained floating-point rate of one core (FLOP/s).
+    idle_power:
+        Power draw when powered on and idle (W).
+    peak_power:
+        Power draw when all cores are busy (W) — the paper's ``c_s``.
+    boot_power:
+        Power draw during the boot process (W) — the paper's ``bc_s``.
+    boot_time:
+        Time to go from OFF to ON (s) — the paper's ``bt_s``.
+    memory_gb:
+        Installed memory, only used for reporting (Table I).
+    """
+
+    name: str
+    cluster: str
+    cores: int
+    flops_per_core: float
+    idle_power: float
+    peak_power: float
+    boot_power: float = 0.0
+    boot_time: float = 0.0
+    memory_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be a non-empty string")
+        if not self.cluster:
+            raise ValueError("cluster name must be a non-empty string")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        ensure_positive(self.flops_per_core, "flops_per_core")
+        ensure_non_negative(self.idle_power, "idle_power")
+        ensure_non_negative(self.peak_power, "peak_power")
+        if self.peak_power < self.idle_power:
+            raise ValueError(
+                f"peak_power ({self.peak_power}) must be >= idle_power "
+                f"({self.idle_power}) for node {self.name!r}"
+            )
+        ensure_non_negative(self.boot_power, "boot_power")
+        ensure_non_negative(self.boot_time, "boot_time")
+        ensure_non_negative(self.memory_gb, "memory_gb")
+
+    @property
+    def total_flops(self) -> float:
+        """Aggregate FLOP/s with all cores busy."""
+        return self.cores * self.flops_per_core
+
+    def default_power_model(self) -> LinearPowerModel:
+        """Linear power model between the spec's idle and peak power."""
+        return LinearPowerModel(idle=self.idle_power, peak=self.peak_power)
+
+
+class Node:
+    """Runtime state of a server.
+
+    The node tracks its power state, the number of busy cores and basic
+    execution counters.  It performs no time-keeping itself — the
+    simulation engine (or the middleware driver) advances time and asks the
+    node for its instantaneous power draw through :meth:`current_power`.
+    """
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        *,
+        power_model: PowerModel | None = None,
+        initial_state: NodeState = NodeState.ON,
+    ) -> None:
+        self.spec = spec
+        self.power_model = power_model or spec.default_power_model()
+        self._state = initial_state
+        self._busy_cores = 0
+        self._boot_completion_time: float | None = None
+        self._completed_tasks = 0
+        self._total_busy_core_seconds = 0.0
+
+    # -- identification ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Node identifier (from the spec)."""
+        return self.spec.name
+
+    @property
+    def cluster(self) -> str:
+        """Cluster this node belongs to (from the spec)."""
+        return self.spec.cluster
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Node({self.name!r}, state={self._state.value}, "
+            f"busy={self._busy_cores}/{self.spec.cores})"
+        )
+
+    # -- power state machine -----------------------------------------------
+    @property
+    def state(self) -> NodeState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the node is powered on and can accept work."""
+        return self._state is NodeState.ON
+
+    def power_off(self) -> None:
+        """Turn the node off.  Requires that no task is running."""
+        if self._busy_cores:
+            raise RuntimeError(
+                f"cannot power off {self.name}: {self._busy_cores} cores busy"
+            )
+        self._state = NodeState.OFF
+        self._boot_completion_time = None
+
+    def begin_boot(self, now: float) -> float:
+        """Start booting an OFF node at time ``now``.
+
+        Returns the absolute time at which the boot completes.  Booting an
+        already-ON node is a no-op returning ``now``.
+        """
+        if self._state is NodeState.ON:
+            return now
+        if self._state is NodeState.BOOTING:
+            assert self._boot_completion_time is not None
+            return self._boot_completion_time
+        self._state = NodeState.BOOTING
+        self._boot_completion_time = now + self.spec.boot_time
+        return self._boot_completion_time
+
+    def complete_boot(self) -> None:
+        """Transition a BOOTING node to ON."""
+        if self._state is not NodeState.BOOTING:
+            raise RuntimeError(f"complete_boot() on node {self.name} in state {self._state}")
+        self._state = NodeState.ON
+        self._boot_completion_time = None
+
+    @property
+    def boot_completion_time(self) -> float | None:
+        """Absolute completion time of an in-progress boot, if any."""
+        return self._boot_completion_time
+
+    # -- core occupancy ------------------------------------------------------
+    @property
+    def busy_cores(self) -> int:
+        """Number of cores currently executing a task."""
+        return self._busy_cores
+
+    @property
+    def free_cores(self) -> int:
+        """Number of idle cores (0 when the node is not ON)."""
+        if self._state is not NodeState.ON:
+            return 0
+        return self.spec.cores - self._busy_cores
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cores busy, in ``[0, 1]``."""
+        if self._state is not NodeState.ON or self.spec.cores == 0:
+            return 0.0
+        return self._busy_cores / self.spec.cores
+
+    def acquire_core(self) -> None:
+        """Mark one core as busy.  Raises if the node is full or not ON."""
+        if self._state is not NodeState.ON:
+            raise RuntimeError(f"node {self.name} is {self._state.value}, cannot run tasks")
+        if self._busy_cores >= self.spec.cores:
+            raise RuntimeError(f"node {self.name} has no free core")
+        self._busy_cores += 1
+
+    def release_core(self, *, busy_seconds: float = 0.0) -> None:
+        """Mark one core as free after a task completes.
+
+        ``busy_seconds`` is the core-time consumed by the finished task and
+        feeds the utilisation counters used in reports.
+        """
+        if self._busy_cores <= 0:
+            raise RuntimeError(f"release_core() on idle node {self.name}")
+        ensure_non_negative(busy_seconds, "busy_seconds")
+        self._busy_cores -= 1
+        self._completed_tasks += 1
+        self._total_busy_core_seconds += busy_seconds
+
+    # -- power ---------------------------------------------------------------
+    def current_power(self) -> float:
+        """Instantaneous power draw in watts for the current state."""
+        if self._state is NodeState.OFF:
+            return 0.0
+        if self._state is NodeState.BOOTING:
+            return self.spec.boot_power
+        return self.power_model.power_at(self.utilization)
+
+    # -- execution model -------------------------------------------------------
+    def task_duration(self, flop: float) -> float:
+        """Time (s) for one core of this node to execute ``flop`` operations."""
+        ensure_non_negative(flop, "flop")
+        return flop / self.spec.flops_per_core
+
+    # -- counters ----------------------------------------------------------------
+    @property
+    def completed_tasks(self) -> int:
+        """Number of tasks completed on this node so far."""
+        return self._completed_tasks
+
+    @property
+    def total_busy_core_seconds(self) -> float:
+        """Accumulated core-seconds of completed work."""
+        return self._total_busy_core_seconds

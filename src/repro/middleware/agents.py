@@ -1,0 +1,193 @@
+"""Agent hierarchy: Master Agent and Local Agents.
+
+Agents "deployed alone or in a hierarchy, facilitate service location and
+invocation interactions between clients and SEDs" (Section II-A).  The
+scheduling process reproduced here follows Section III-A:
+
+1. a client issues a request to the Master Agent;
+2. the request is propagated down the hierarchy to the SeDs able to solve
+   the problem;
+3. each SeD fills an estimation vector which travels back up;
+4. at each level, the agent sorts the candidates with the plug-in
+   scheduler; the Master Agent elects the first SeD of the final ranking;
+5. the client contacts the elected SeD.
+
+A *candidate filter* hook on the Master Agent lets the green provisioning
+layer (Section III-C) restrict the set of candidate nodes before the
+final sorting — that is where the administrator's thresholds and
+``Preference_provider`` act.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.middleware.estimation import EstimationVector
+from repro.middleware.plugin_scheduler import (
+    CandidateEntry,
+    FirstComeFirstServedScheduler,
+    PluginScheduler,
+)
+from repro.middleware.requests import SchedulingOutcome, ServiceRequest
+from repro.middleware.sed import ServerDaemon
+
+#: Hook filtering the candidate entries the Master Agent considers.
+CandidateFilter = Callable[[ServiceRequest, Sequence[CandidateEntry]], Sequence[CandidateEntry]]
+
+
+class Agent:
+    """A node of the agent hierarchy.
+
+    Children are either other agents or SeDs.  Each agent owns a plug-in
+    scheduler used to sort the candidates it forwards upwards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        scheduler: PluginScheduler | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("agent name must be a non-empty string")
+        self.name = name
+        self.scheduler = scheduler or FirstComeFirstServedScheduler()
+        self._child_agents: list[Agent] = []
+        self._seds: list[ServerDaemon] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{len(self._child_agents)} agents, {len(self._seds)} SeDs)"
+        )
+
+    # -- topology -----------------------------------------------------------------
+    def add_agent(self, agent: "Agent") -> None:
+        """Attach a child agent."""
+        if agent is self:
+            raise ValueError("an agent cannot be its own child")
+        self._child_agents.append(agent)
+
+    def add_sed(self, sed: ServerDaemon) -> None:
+        """Attach a SeD."""
+        self._seds.append(sed)
+
+    @property
+    def child_agents(self) -> Sequence["Agent"]:
+        """Directly attached child agents."""
+        return tuple(self._child_agents)
+
+    @property
+    def seds(self) -> Sequence[ServerDaemon]:
+        """Directly attached SeDs."""
+        return tuple(self._seds)
+
+    def all_seds(self) -> Sequence[ServerDaemon]:
+        """Every SeD reachable from this agent (depth-first)."""
+        found: list[ServerDaemon] = list(self._seds)
+        for child in self._child_agents:
+            found.extend(child.all_seds())
+        return tuple(found)
+
+    def set_scheduler(self, scheduler: PluginScheduler, *, recursive: bool = True) -> None:
+        """Install a plug-in scheduler on this agent (and its subtree by default)."""
+        self.scheduler = scheduler
+        if recursive:
+            for child in self._child_agents:
+                child.set_scheduler(scheduler, recursive=True)
+
+    # -- request propagation -----------------------------------------------------------
+    def collect_candidates(self, request: ServiceRequest) -> list[CandidateEntry]:
+        """Steps 2–4 for this subtree: propagate, collect, sort.
+
+        Only SeDs that can solve the requested service and whose node is
+        powered on contribute an estimation vector.
+        """
+        local: list[CandidateEntry] = []
+        for sed in self._seds:
+            if not sed.can_solve(request.service):
+                continue
+            vector = sed.estimate(request)
+            if not vector.available:
+                continue
+            local.append(CandidateEntry.from_vector(vector))
+
+        partial_rankings: list[Sequence[CandidateEntry]] = []
+        if local:
+            partial_rankings.append(self.scheduler.sort(request, local))
+        for child in self._child_agents:
+            ranking = child.collect_candidates(request)
+            if ranking:
+                partial_rankings.append(ranking)
+
+        if not partial_rankings:
+            return []
+        if len(partial_rankings) == 1:
+            return list(partial_rankings[0])
+        return self.scheduler.aggregate(request, partial_rankings)
+
+
+class LocalAgent(Agent):
+    """An intermediate agent (LA) of the hierarchy."""
+
+
+class MasterAgent(Agent):
+    """The head of the hierarchy (MA).
+
+    In addition to the common agent behaviour, the Master Agent applies an
+    optional *candidate filter* before the final sort — the hook used by
+    the adaptive provisioning layer to cap the number of candidate nodes —
+    and elects the first SeD of the resulting ranking.
+    """
+
+    def __init__(
+        self,
+        name: str = "master-agent",
+        *,
+        scheduler: PluginScheduler | None = None,
+        candidate_filter: CandidateFilter | None = None,
+    ) -> None:
+        super().__init__(name, scheduler=scheduler)
+        self.candidate_filter = candidate_filter
+
+    def set_candidate_filter(self, candidate_filter: CandidateFilter | None) -> None:
+        """Install (or clear) the candidate filter."""
+        self.candidate_filter = candidate_filter
+
+    def submit(self, request: ServiceRequest) -> SchedulingOutcome:
+        """Run the full scheduling process for one request.
+
+        Returns a :class:`SchedulingOutcome` whose ``elected`` field is
+        ``None`` when no SeD can solve the request (error case of step 1).
+        """
+        candidates = self.collect_candidates(request)
+        if self.candidate_filter is not None and candidates:
+            candidates = list(self.candidate_filter(request, candidates))
+            candidates = self.scheduler.sort(request, candidates)
+        if not candidates:
+            return SchedulingOutcome(request=request, elected=None, ranked_candidates=())
+        ranked_vectors = tuple(entry.estimation for entry in candidates)
+        return SchedulingOutcome(
+            request=request,
+            elected=candidates[0].server,
+            ranked_candidates=ranked_vectors,
+        )
+
+    def find_sed(self, name: str) -> ServerDaemon:
+        """Look up a SeD by name anywhere in the hierarchy."""
+        for sed in self.all_seds():
+            if sed.name == name:
+                return sed
+        raise KeyError(f"no SeD named {name!r} in the hierarchy")
+
+
+def build_flat_hierarchy(
+    seds: Iterable[ServerDaemon],
+    *,
+    scheduler: PluginScheduler | None = None,
+) -> MasterAgent:
+    """Attach every SeD directly under a Master Agent (the simplest topology)."""
+    master = MasterAgent(scheduler=scheduler)
+    for sed in seds:
+        master.add_sed(sed)
+    return master

@@ -1,0 +1,267 @@
+"""Simulation driver gluing the middleware to the platform.
+
+:class:`MiddlewareSimulation` executes a workload through the full
+scheduling pipeline of the paper:
+
+* request arrivals are events on the discrete-event engine;
+* each arrival is propagated through the Master Agent, which returns the
+  elected SeD (Section III-A, steps 1–4);
+* the task is placed in the elected SeD's queue and starts as soon as a
+  core is free on that node (step 5);
+* completions feed the SeD's dynamic power estimate, the execution trace
+  and the metrics collector;
+* an optional wattmeter samples every node at 1 Hz, providing the
+  ground-truth energy figures reported in Table II and Figure 5.
+
+Energy attribution
+------------------
+Each completed task records the node-level power observed when it started
+(the quantity the paper's dynamic GreenPerf estimation averages) and a
+per-core share of that power integrated over its duration as its marginal
+energy.  Platform-level energy totals always come from the wattmeter, so
+attribution choices cannot bias the headline results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.infrastructure.platform import Platform
+from repro.infrastructure.wattmeter import Wattmeter
+from repro.middleware.agents import MasterAgent
+from repro.middleware.client import Client
+from repro.middleware.requests import SchedulingOutcome, ServiceRequest
+from repro.middleware.sed import ServerDaemon
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ExperimentMetrics, MetricsCollector
+from repro.simulation.task import Task, TaskExecution, TaskState
+from repro.simulation.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything produced by one simulation run."""
+
+    metrics: ExperimentMetrics
+    trace: ExecutionTrace
+    energy_by_cluster: Mapping[str, float]
+    energy_by_node: Mapping[str, float]
+    rejected_tasks: int
+
+    @property
+    def makespan(self) -> float:
+        """Convenience accessor for the run's makespan (s)."""
+        return self.metrics.makespan
+
+    @property
+    def total_energy(self) -> float:
+        """Convenience accessor for the run's total energy (J)."""
+        return self.metrics.total_energy
+
+
+class MiddlewareSimulation:
+    """Drives a workload through the middleware onto a platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        master: MasterAgent,
+        seds: Mapping[str, ServerDaemon],
+        *,
+        sample_period: float = 1.0,
+        enable_wattmeter: bool = True,
+        policy_name: str | None = None,
+    ) -> None:
+        self.platform = platform
+        self.master = master
+        self.seds = dict(seds)
+        self.engine = SimulationEngine()
+        self.trace = ExecutionTrace()
+        self.metrics = MetricsCollector(
+            policy=policy_name or getattr(master.scheduler, "name", "unknown")
+        )
+        self.client = Client(master)
+        self.wattmeter: Wattmeter | None = None
+        if enable_wattmeter:
+            self.wattmeter = Wattmeter(platform.nodes, sample_period=sample_period)
+        self._rejected = 0
+        self._pending_completions = 0
+
+    # -- workload submission -------------------------------------------------------
+    def submit_workload(self, tasks: Sequence[Task]) -> None:
+        """Schedule the arrival of every task in ``tasks``."""
+        for task in tasks:
+            self.engine.schedule(
+                task.arrival_time,
+                self._make_arrival_callback(task),
+                label=f"arrival-{task.task_id}",
+            )
+
+    def inject_task(self, task: Task) -> None:
+        """Submit ``task`` immediately (at the engine's current time).
+
+        Used by closed-loop clients that decide on-the-fly how many requests
+        to keep in flight (the adaptive-provisioning experiment).
+        """
+        self._handle_arrival(task)
+
+    def _make_arrival_callback(self, task: Task):
+        def _on_arrival() -> None:
+            self._handle_arrival(task)
+
+        return _on_arrival
+
+    # -- event handlers ----------------------------------------------------------------
+    def _sample_power(self) -> None:
+        if self.wattmeter is not None:
+            self.wattmeter.advance_to(self.engine.now)
+
+    def _handle_arrival(self, task: Task) -> None:
+        self._sample_power()
+        now = self.engine.now
+        task.state = TaskState.SUBMITTED
+        self.trace.record(
+            now,
+            ExecutionTrace.TASK_SUBMITTED,
+            task_id=task.task_id,
+            client=task.client,
+        )
+        outcome = self.client.submit(task, submitted_at=now)
+        self._handle_outcome(task, outcome)
+
+    def _handle_outcome(self, task: Task, outcome: SchedulingOutcome) -> None:
+        now = self.engine.now
+        if not outcome.succeeded:
+            task.state = TaskState.REJECTED
+            self._rejected += 1
+            self.trace.record(
+                now, ExecutionTrace.TASK_REJECTED, task_id=task.task_id
+            )
+            return
+        sed = self.seds[outcome.elected]
+        task.state = TaskState.QUEUED
+        sed.queue.enqueue(task)
+        self.trace.record(
+            now,
+            ExecutionTrace.TASK_SCHEDULED,
+            task_id=task.task_id,
+            node=sed.name,
+            cluster=sed.cluster,
+            candidates=outcome.candidate_names,
+        )
+        self._try_start(sed)
+
+    def _try_start(self, sed: ServerDaemon) -> None:
+        """Start as many queued tasks as the node has free cores."""
+        node = sed.node
+        while node.is_available and node.free_cores > 0:
+            task = sed.queue.pop_next()
+            if task is None:
+                return
+            self._start_task(sed, task)
+
+    def _start_task(self, sed: ServerDaemon, task: Task) -> None:
+        now = self.engine.now
+        node = sed.node
+        node.acquire_core()
+        sed.queue.mark_running(task)
+        task.state = TaskState.RUNNING
+        duration = task.duration_on(node.spec.flops_per_core)
+        node_power = node.current_power()
+        attributed_power = node_power / max(node.busy_cores, 1)
+        self.trace.record(
+            now,
+            ExecutionTrace.TASK_STARTED,
+            task_id=task.task_id,
+            node=node.name,
+            cluster=node.cluster,
+            duration=duration,
+        )
+        submitted_at = task.arrival_time
+
+        def _on_completion() -> None:
+            self._complete_task(
+                sed,
+                task,
+                submitted_at=submitted_at,
+                started_at=now,
+                node_power=node_power,
+                attributed_power=attributed_power,
+            )
+
+        self.engine.schedule(
+            now + duration, _on_completion, label=f"completion-{task.task_id}"
+        )
+        self._pending_completions += 1
+
+    def _complete_task(
+        self,
+        sed: ServerDaemon,
+        task: Task,
+        *,
+        submitted_at: float,
+        started_at: float,
+        node_power: float,
+        attributed_power: float,
+    ) -> None:
+        self._sample_power()
+        now = self.engine.now
+        node = sed.node
+        duration = now - started_at
+        node.release_core(busy_seconds=duration)
+        sed.queue.mark_completed(task)
+        task.state = TaskState.COMPLETED
+        energy = attributed_power * duration
+        sed.record_request_power(node_power, energy)
+        execution = TaskExecution(
+            task_id=task.task_id,
+            node=node.name,
+            cluster=node.cluster,
+            submitted_at=submitted_at,
+            started_at=started_at,
+            completed_at=now,
+            energy=energy,
+        )
+        self.metrics.record_execution(execution)
+        self.trace.record(
+            now,
+            ExecutionTrace.TASK_COMPLETED,
+            task_id=task.task_id,
+            node=node.name,
+            cluster=node.cluster,
+            duration=duration,
+            energy=energy,
+        )
+        self._pending_completions -= 1
+        self._try_start(sed)
+
+    # -- execution ------------------------------------------------------------------------
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> SimulationResult:
+        """Run the simulation to completion (or ``until``) and summarise it."""
+        self.engine.run(until=until, max_events=max_events)
+        self._sample_power()
+        energy_log = self.wattmeter.log if self.wattmeter is not None else None
+        metrics = self.metrics.summarize(energy_log)
+        return SimulationResult(
+            metrics=metrics,
+            trace=self.trace,
+            energy_by_cluster=(
+                dict(energy_log.energy_by_cluster()) if energy_log is not None else {}
+            ),
+            energy_by_node=(
+                dict(energy_log.energy_by_node()) if energy_log is not None else {}
+            ),
+            rejected_tasks=self._rejected,
+        )
+
+    # -- introspection -----------------------------------------------------------------------
+    @property
+    def rejected_tasks(self) -> int:
+        """Number of tasks rejected because no SeD could serve them."""
+        return self._rejected
+
+    @property
+    def running_tasks(self) -> int:
+        """Number of tasks currently executing."""
+        return self._pending_completions

@@ -1,0 +1,70 @@
+"""Building agent hierarchies from platform descriptions.
+
+The paper deploys one Master Agent and twelve SeDs spread over three
+clusters (Table I).  The natural DIET topology for such a platform is one
+Local Agent per cluster under the Master Agent, with one SeD per node —
+that is what :func:`build_hierarchy` produces.  A flat topology (all SeDs
+directly under the MA) is also available for small experiments and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.infrastructure.platform import Platform
+from repro.middleware.agents import LocalAgent, MasterAgent
+from repro.middleware.plugin_scheduler import PluginScheduler
+from repro.middleware.sed import ServerDaemon
+from repro.simulation.queueing import QueueSet
+
+
+def build_hierarchy(
+    platform: Platform,
+    *,
+    scheduler: PluginScheduler | None = None,
+    services: Iterable[str] = ("cpu-burn",),
+    per_cluster_agents: bool = True,
+    queues: QueueSet | None = None,
+) -> tuple[MasterAgent, Mapping[str, ServerDaemon]]:
+    """Create a Master Agent hierarchy covering every node of ``platform``.
+
+    Parameters
+    ----------
+    platform:
+        The infrastructure to expose through the middleware.
+    scheduler:
+        Plug-in scheduler installed on every agent (may be replaced later
+        with :meth:`~repro.middleware.agents.Agent.set_scheduler`).
+    services:
+        Services offered by every SeD.
+    per_cluster_agents:
+        When true (default), one Local Agent per cluster is inserted
+        between the MA and the SeDs, mirroring the paper's deployment;
+        otherwise all SeDs attach directly to the MA.
+    queues:
+        Optional pre-built :class:`~repro.simulation.queueing.QueueSet`; when
+        given, each SeD is bound to the queue of its node so that the
+        middleware and the simulation driver share queue state.
+
+    Returns
+    -------
+    (master, seds):
+        The Master Agent and a mapping from node name to SeD.
+    """
+    services = tuple(services)
+    master = MasterAgent(scheduler=scheduler)
+    seds: dict[str, ServerDaemon] = {}
+
+    for cluster in platform.clusters:
+        parent = master
+        if per_cluster_agents:
+            local_agent = LocalAgent(f"la-{cluster.name}", scheduler=scheduler)
+            master.add_agent(local_agent)
+            parent = local_agent
+        for node in cluster:
+            queue = queues[node.name] if queues is not None else None
+            sed = ServerDaemon(node, services=services, queue=queue)
+            parent.add_sed(sed)
+            seds[node.name] = sed
+
+    return master, seds

@@ -1,0 +1,86 @@
+"""Plug-in scheduler interface.
+
+DIET lets "applications [be] given a degree of control over the scheduling
+subsystem using plug-in schedulers (available in each agent) that use
+information gathered from resources via estimation functions"
+(Section II-A).  A plug-in scheduler receives the candidate estimation
+vectors collected at one level of the hierarchy and returns them sorted,
+best candidate first.  Each agent applies the same plug-in, so the Master
+Agent ends up with a globally sorted list from which the first SeD is
+elected.
+
+The paper's policies (POWER, PERFORMANCE, RANDOM and the GreenPerf/score
+based green scheduler) are implemented in :mod:`repro.core.policies` as
+subclasses of :class:`PluginScheduler`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.middleware.estimation import EstimationVector
+from repro.middleware.requests import ServiceRequest
+
+
+@dataclass(frozen=True)
+class CandidateEntry:
+    """One candidate at one hierarchy level: the SeD name and its estimation."""
+
+    server: str
+    estimation: EstimationVector
+
+    @classmethod
+    def from_vector(cls, vector: EstimationVector) -> "CandidateEntry":
+        """Wrap an estimation vector."""
+        return cls(server=vector.server, estimation=vector)
+
+
+class PluginScheduler(ABC):
+    """Sorts candidate servers for a request.  Stateless unless documented."""
+
+    #: Human-readable policy name used in reports (Table II column headers).
+    name: str = "plugin"
+
+    @abstractmethod
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        """Return ``candidates`` sorted best-first for ``request``.
+
+        Implementations must not mutate the input sequence and must return
+        a new list containing exactly the same entries (a permutation).
+        """
+
+    def aggregate(
+        self,
+        request: ServiceRequest,
+        partial_rankings: Sequence[Sequence[CandidateEntry]],
+    ) -> list[CandidateEntry]:
+        """Merge the sorted lists coming from child agents.
+
+        The default aggregation concatenates the children's candidates and
+        re-sorts them with the same criterion, which mirrors DIET where the
+        same plug-in runs at each agent of the hierarchy.
+        """
+        merged: list[CandidateEntry] = []
+        for ranking in partial_rankings:
+            merged.extend(ranking)
+        return self.sort(request, merged)
+
+
+class FirstComeFirstServedScheduler(PluginScheduler):
+    """Keeps candidates in collection order.
+
+    This mirrors DIET's default behaviour when no plug-in is installed and
+    serves as a neutral baseline in tests: whatever order the hierarchy
+    produced is preserved.
+    """
+
+    name = "fcfs"
+
+    def sort(
+        self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
+    ) -> list[CandidateEntry]:
+        return list(candidates)

@@ -1,0 +1,84 @@
+"""Client requests and scheduling outcomes.
+
+A :class:`ServiceRequest` is what travels down the agent hierarchy: the
+problem description (service name, task cost) plus the requesting user's
+energy/performance preference.  A :class:`SchedulingOutcome` is what the
+Master Agent returns to the client: the elected SeD and the ranked list of
+candidates with their estimation vectors (step 4 of the scheduling process
+in Section III-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.middleware.estimation import EstimationVector
+from repro.simulation.task import Task
+
+_request_counter = itertools.count()
+
+
+def _next_request_id() -> int:
+    return next(_request_counter)
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """A problem submission travelling through the hierarchy.
+
+    Parameters
+    ----------
+    task:
+        The underlying unit of work (cost, client, service name).
+    user_preference:
+        ``Preference_user`` for this request, in ``[-1, 1]``.  Defaults to
+        the task's own preference value.
+    submitted_at:
+        Simulated submission time (s).
+    """
+
+    task: Task
+    user_preference: float
+    submitted_at: float
+    request_id: int = field(default_factory=_next_request_id)
+
+    @classmethod
+    def from_task(cls, task: Task, *, submitted_at: float | None = None) -> "ServiceRequest":
+        """Wrap a task into a request, inheriting its preference and arrival time."""
+        return cls(
+            task=task,
+            user_preference=task.user_preference,
+            submitted_at=task.arrival_time if submitted_at is None else submitted_at,
+        )
+
+    @property
+    def service(self) -> str:
+        """Requested computational service."""
+        return self.task.service
+
+
+@dataclass(frozen=True)
+class SchedulingOutcome:
+    """Result of propagating one request through the hierarchy.
+
+    ``elected`` is the SeD name chosen to solve the problem (``None`` when
+    no server can serve the request — the error case of step 1 in
+    Section III-A).  ``ranked_candidates`` preserves the full sorted list
+    so clients and experiments can inspect the decision.
+    """
+
+    request: ServiceRequest
+    elected: str | None
+    ranked_candidates: Sequence[EstimationVector] = ()
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether a server was elected."""
+        return self.elected is not None
+
+    @property
+    def candidate_names(self) -> tuple[str, ...]:
+        """Names of the ranked candidate servers, best first."""
+        return tuple(vector.server for vector in self.ranked_candidates)

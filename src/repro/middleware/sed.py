@@ -1,0 +1,140 @@
+"""Server Daemon (SeD).
+
+A SeD "acts as a service provider exposing functionality through a
+standardized computational service interface" (Section II-A).  In this
+reproduction each SeD wraps one node, one waiting queue and a power
+monitor, and exposes two things to the agent hierarchy:
+
+* the set of services it can solve;
+* an estimation vector, filled by a (possibly custom) *estimation
+  function* whenever a request arrives.
+
+The default estimation function populates the standard tags of
+:class:`~repro.middleware.estimation.EstimationTags`.  The paper's green
+scheduler installs additional behaviour simply by reading the power tags —
+it does not need to replace the estimation function, but custom functions
+are supported because DIET supports them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.infrastructure.node import Node
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.middleware.requests import ServiceRequest
+from repro.simulation.queueing import NodeQueue
+from repro.util.stats import RunningStats
+
+EstimationFunction = Callable[["ServerDaemon", ServiceRequest], EstimationVector]
+
+
+class ServerDaemon:
+    """One SeD: a node, its queue, its power history and its services."""
+
+    def __init__(
+        self,
+        node: Node,
+        *,
+        services: Iterable[str] = ("cpu-burn",),
+        queue: NodeQueue | None = None,
+        estimation_function: EstimationFunction | None = None,
+    ) -> None:
+        self.node = node
+        self.queue = queue if queue is not None else NodeQueue(node)
+        if self.queue.node is not node:
+            raise ValueError("queue must be bound to the SeD's node")
+        self._services = frozenset(services)
+        if not self._services:
+            raise ValueError("a SeD must offer at least one service")
+        self._estimation_function = estimation_function or default_estimation_function
+        #: Per-request energy/duration history feeding the dynamic power estimate.
+        self._request_power = RunningStats()
+        self._request_energy = RunningStats()
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """SeD name — identical to the node name."""
+        return self.node.name
+
+    @property
+    def cluster(self) -> str:
+        """Cluster of the backing node."""
+        return self.node.cluster
+
+    @property
+    def services(self) -> frozenset[str]:
+        """Services this SeD can solve."""
+        return self._services
+
+    def can_solve(self, service: str) -> bool:
+        """Whether this SeD offers ``service``."""
+        return service in self._services
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ServerDaemon({self.name!r}, services={sorted(self._services)})"
+
+    # -- dynamic power estimation -------------------------------------------------
+    def record_request_power(self, mean_power: float, energy: float) -> None:
+        """Feed the power observed while serving one past request.
+
+        The paper favours "a second, more dynamic approach, where the energy
+        consumed by a server while computing a number of past requests is
+        used to compute its average power consumption" (Section III-A).
+        """
+        self._request_power.add(mean_power)
+        self._request_energy.add(energy)
+
+    @property
+    def observed_request_count(self) -> int:
+        """Number of past requests whose power has been recorded."""
+        return self._request_power.count
+
+    def dynamic_mean_power(self) -> float:
+        """Average power over past requests (W).
+
+        Before any request has completed (the "learning phase" visible in
+        Figure 2), the estimate falls back to the node's peak power — a
+        conservative figure that lets the scheduler make progress without
+        favouring unmeasured machines.
+        """
+        if self._request_power.count == 0:
+            return self.node.spec.peak_power
+        return self._request_power.mean
+
+    def mean_energy_per_request(self) -> float:
+        """Average energy per past request (J); 0.0 before any completion."""
+        return self._request_energy.mean
+
+    # -- estimation ------------------------------------------------------------------
+    def set_estimation_function(self, function: EstimationFunction) -> None:
+        """Install a custom estimation function (the DIET plug-in hook)."""
+        self._estimation_function = function
+
+    def estimate(self, request: ServiceRequest) -> EstimationVector:
+        """Produce the estimation vector for ``request``."""
+        vector = self._estimation_function(self, request)
+        vector.validate_required()
+        return vector
+
+
+def default_estimation_function(
+    sed: ServerDaemon, request: ServiceRequest
+) -> EstimationVector:
+    """The default DIET-like estimation function extended with power tags."""
+    node = sed.node
+    vector = EstimationVector(server=sed.name, cluster=sed.cluster)
+    vector.set(EstimationTags.FLOPS_PER_CORE, node.spec.flops_per_core)
+    vector.set(EstimationTags.TOTAL_FLOPS, node.spec.total_flops)
+    vector.set(EstimationTags.FREE_CORES, float(node.free_cores))
+    vector.set(EstimationTags.TOTAL_CORES, float(node.spec.cores))
+    vector.set(EstimationTags.WAITING_TIME, sed.queue.waiting_time_estimate())
+    vector.set(EstimationTags.COMPLETED_TASKS, float(node.completed_tasks))
+    vector.set(EstimationTags.MEAN_POWER, sed.dynamic_mean_power())
+    vector.set(EstimationTags.IDLE_POWER, node.spec.idle_power)
+    vector.set(EstimationTags.PEAK_POWER, node.spec.peak_power)
+    vector.set(EstimationTags.BOOT_POWER, node.spec.boot_power)
+    vector.set(EstimationTags.BOOT_TIME, node.spec.boot_time)
+    vector.set(EstimationTags.NODE_AVAILABLE, 1.0 if node.is_available else 0.0)
+    return vector

@@ -1,0 +1,193 @@
+"""Minimal discrete-event simulation engine.
+
+The engine keeps a priority queue of timestamped callbacks.  Everything in
+the reproduction — request arrivals, task completions, node boots, the
+Master Agent's periodic 10-minute status checks — is expressed as an event
+scheduled on this engine, which keeps the middleware and scheduler code
+free of any time-keeping logic.
+
+Events at the same timestamp fire in FIFO order of scheduling, with an
+optional integer ``priority`` to break ties deterministically (lower fires
+first).  Determinism matters: the experiments must be exactly repeatable
+for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.validation import ensure_non_negative
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True, frozen=True)
+class ScheduledEvent:
+    """Internal heap entry: ``(time, priority, sequence)`` orders events."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False, hash=False)
+
+
+class _EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
+
+    __slots__ = ("_entry", "_cancelled")
+
+    def __init__(self, entry: ScheduledEvent) -> None:
+        self._entry = entry
+        self._cancelled = False
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._entry.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label attached at scheduling time."""
+        return self._entry.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._cancelled = True
+
+
+class SimulationEngine:
+    """Event-driven simulation clock.
+
+    Example
+    -------
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule(5.0, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        ensure_non_negative(start_time, "start_time")
+        self._now = start_time
+        self._heap: list[tuple[ScheduledEvent, _EventHandle]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    # -- clock -----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (s)."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    # -- scheduling ---------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> _EventHandle:
+        """Schedule ``callback`` to fire at absolute simulated ``time``.
+
+        ``time`` must not be in the past.  Returns a handle whose
+        :meth:`~_EventHandle.cancel` method removes the event.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        entry = ScheduledEvent(
+            time=time,
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        handle = _EventHandle(entry)
+        heapq.heappush(self._heap, (entry, handle))
+        return handle
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> _EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        ensure_non_negative(delay, "delay")
+        return self.schedule(self._now + delay, callback, priority=priority, label=label)
+
+    # -- execution -------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns ``False`` if none remain."""
+        while self._heap:
+            entry, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the event queue is empty.
+
+        ``until`` stops the clock once the next event would fire strictly
+        after that time (the clock is advanced to ``until``).  ``max_events``
+        bounds the number of callbacks fired, as a safety valve against
+        runaway self-rescheduling.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                return
+            entry, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry.time > until:
+                self._now = max(self._now, until)
+                return
+            self.step()
+            fired += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def peek_next_time(self) -> float | None:
+        """Firing time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap:
+            entry, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return entry.time
+        return None

@@ -1,0 +1,113 @@
+"""Per-node task queues and waiting-time estimation.
+
+The paper's score function (Eq. 4) needs ``w_s``, the "estimation of tasks
+waiting queue on server s (seconds)".  Each SeD maintains a FIFO queue of
+tasks that have been assigned to the node but have not started because all
+cores are busy; the waiting-time estimate is derived from the work in the
+queue and in flight divided by the node's processing capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Mapping
+
+from repro.infrastructure.node import Node
+from repro.simulation.task import Task
+
+
+class NodeQueue:
+    """FIFO queue of tasks assigned to one node but not yet running."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self._pending: Deque[Task] = deque()
+        self._running_remaining_flop: dict[int, float] = {}
+
+    # -- queue operations -------------------------------------------------------
+    def enqueue(self, task: Task) -> None:
+        """Append an assigned task to the waiting queue."""
+        self._pending.append(task)
+
+    def pop_next(self) -> Task | None:
+        """Remove and return the oldest waiting task, or ``None`` if empty."""
+        if not self._pending:
+            return None
+        return self._pending.popleft()
+
+    def mark_running(self, task: Task) -> None:
+        """Record that ``task`` has started executing on the node."""
+        self._running_remaining_flop[task.task_id] = task.flop
+
+    def mark_completed(self, task: Task) -> None:
+        """Record that ``task`` has finished executing on the node."""
+        self._running_remaining_flop.pop(task.task_id, None)
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def pending_tasks(self) -> tuple[Task, ...]:
+        """Tasks waiting for a core, oldest first."""
+        return tuple(self._pending)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of waiting tasks."""
+        return len(self._pending)
+
+    @property
+    def running_count(self) -> int:
+        """Number of tasks currently executing."""
+        return len(self._running_remaining_flop)
+
+    @property
+    def backlog_flop(self) -> float:
+        """Total FLOPs waiting in the queue (not counting running tasks)."""
+        return sum(task.flop for task in self._pending)
+
+    def waiting_time_estimate(self) -> float:
+        """Estimated delay (s) before a *new* task would start on this node.
+
+        The estimate assumes the node keeps all cores busy: the waiting
+        work (queued FLOPs plus an upper bound on the in-flight FLOPs) is
+        divided by the node's aggregate throughput.  When free cores exist
+        and nothing is queued, the estimate is zero — the new task starts
+        immediately.
+        """
+        if self.node.free_cores > 0 and not self._pending:
+            return 0.0
+        outstanding = self.backlog_flop + sum(self._running_remaining_flop.values())
+        return outstanding / self.node.spec.total_flops
+
+
+class QueueSet:
+    """The queues of every node of a platform, indexed by node name."""
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._queues: dict[str, NodeQueue] = {
+            node.name: NodeQueue(node) for node in nodes
+        }
+
+    def __getitem__(self, node_name: str) -> NodeQueue:
+        return self._queues[node_name]
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self._queues
+
+    def __len__(self) -> int:
+        return len(self._queues)
+
+    @property
+    def queues(self) -> Mapping[str, NodeQueue]:
+        """All queues, keyed by node name."""
+        return dict(self._queues)
+
+    def total_pending(self) -> int:
+        """Number of waiting tasks across the platform."""
+        return sum(queue.pending_count for queue in self._queues.values())
+
+    def waiting_times(self) -> Mapping[str, float]:
+        """Waiting-time estimate of every node (s)."""
+        return {
+            name: queue.waiting_time_estimate()
+            for name, queue in self._queues.items()
+        }

@@ -1,0 +1,125 @@
+"""Task model.
+
+The paper's unit of work is "a CPU-bound problem which consists in 1e8
+successive additions" (Section IV-A), i.e. a single-core task whose cost
+is expressed in floating-point operations (``n_i`` in the paper's
+notation).  Tasks are independent and carry no priority (Section III-A);
+a user-level preference value may accompany a request (Section III-B).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.util.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+#: FLOP cost of the paper's unit task.
+DEFAULT_TASK_FLOP = 1.0e8
+
+_task_counter = itertools.count()
+
+
+def _next_task_id() -> int:
+    return next(_task_counter)
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the simulation."""
+
+    SUBMITTED = "submitted"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Task:
+    """An independent, single-core, CPU-bound task.
+
+    Parameters
+    ----------
+    flop:
+        Number of floating-point operations (``n_i``).
+    arrival_time:
+        Simulated time at which the client submits the request (s).
+    client:
+        Identifier of the submitting client (used in multi-client scenarios).
+    user_preference:
+        The request's ``Preference_user`` value in ``[-1, 1]``
+        (−1: maximise performance, 0: no preference, +1: maximise energy
+        efficiency).  See Section III-B.
+    service:
+        Name of the requested computational service; the default matches
+        the paper's single CPU-bound problem.
+    """
+
+    flop: float = DEFAULT_TASK_FLOP
+    arrival_time: float = 0.0
+    client: str = "client-0"
+    user_preference: float = 0.0
+    service: str = "cpu-burn"
+    task_id: int = field(default_factory=_next_task_id)
+    state: TaskState = field(default=TaskState.SUBMITTED, compare=False)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.flop, "flop")
+        ensure_non_negative(self.arrival_time, "arrival_time")
+        ensure_in_range(self.user_preference, "user_preference", -1.0, 1.0)
+        if not self.service:
+            raise ValueError("service must be a non-empty string")
+
+    def duration_on(self, flops_per_core: float) -> float:
+        """Execution time (s) on a core sustaining ``flops_per_core`` FLOP/s."""
+        ensure_positive(flops_per_core, "flops_per_core")
+        return self.flop / flops_per_core
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """Completed execution record of a task on a node.
+
+    ``queue_delay`` is the time spent waiting between submission and the
+    start of execution; ``energy`` is the marginal energy attributed to the
+    task (dynamic power above idle integrated over the execution), which is
+    what the dynamic GreenPerf estimator consumes.
+    """
+
+    task_id: int
+    node: str
+    cluster: str
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.started_at < self.submitted_at:
+            raise ValueError("a task cannot start before it is submitted")
+        if self.completed_at < self.started_at:
+            raise ValueError("a task cannot complete before it starts")
+        ensure_non_negative(self.energy, "energy")
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock execution time (s)."""
+        return self.completed_at - self.started_at
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting before execution (s)."""
+        return self.started_at - self.submitted_at
+
+    @property
+    def response_time(self) -> float:
+        """Submission-to-completion latency (s)."""
+        return self.completed_at - self.submitted_at
+
+    @property
+    def mean_power(self) -> float:
+        """Average marginal power over the execution (W); 0.0 for zero duration."""
+        if self.duration == 0:
+            return 0.0
+        return self.energy / self.duration

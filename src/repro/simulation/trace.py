@@ -1,0 +1,104 @@
+"""Execution tracing.
+
+Every interesting simulation occurrence (task submitted / scheduled /
+started / completed, node booted / powered off, candidate-set change,
+energy event) is appended to an :class:`ExecutionTrace`.  Experiments and
+tests consume the trace to rebuild the paper's figures (task distribution
+per node, candidate-count time series) without instrumenting the
+scheduling code paths themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: ``kind`` happened at simulated ``time``.
+
+    ``details`` carries kind-specific fields (task id, node name, candidate
+    count, ...), kept as a plain mapping so traces are easy to serialise.
+    """
+
+    time: float
+    kind: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.details[key]
+
+
+class ExecutionTrace:
+    """Append-only list of :class:`TraceEvent` with simple query helpers."""
+
+    #: Well-known event kinds emitted by the middleware driver.
+    TASK_SUBMITTED = "task_submitted"
+    TASK_SCHEDULED = "task_scheduled"
+    TASK_STARTED = "task_started"
+    TASK_COMPLETED = "task_completed"
+    TASK_REJECTED = "task_rejected"
+    NODE_BOOT_STARTED = "node_boot_started"
+    NODE_BOOT_COMPLETED = "node_boot_completed"
+    NODE_POWERED_OFF = "node_powered_off"
+    CANDIDATES_CHANGED = "candidates_changed"
+    ENERGY_EVENT = "energy_event"
+    STATUS_CHECK = "status_check"
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **details: Any) -> TraceEvent:
+        """Append a record and return it."""
+        event = TraceEvent(time=time, kind=kind, details=dict(details))
+        self._events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        """All records in insertion (chronological) order."""
+        return tuple(self._events)
+
+    def of_kind(self, kind: str) -> Sequence[TraceEvent]:
+        """All records of one kind."""
+        return tuple(event for event in self._events if event.kind == kind)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> Sequence[TraceEvent]:
+        """All records matching ``predicate``."""
+        return tuple(event for event in self._events if predicate(event))
+
+    def last_of_kind(self, kind: str) -> TraceEvent | None:
+        """Most recent record of one kind, or ``None``."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def count_by(self, kind: str, key: str) -> Mapping[Any, int]:
+        """Histogram of ``details[key]`` over records of ``kind``.
+
+        Used, e.g., to count completed tasks per node (Figures 2–4).
+        """
+        counts: dict[Any, int] = {}
+        for event in self._events:
+            if event.kind != kind:
+                continue
+            value = event.details.get(key)
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def time_series(self, kind: str, key: str) -> Sequence[tuple[float, Any]]:
+        """Chronological ``(time, details[key])`` pairs for records of ``kind``."""
+        return tuple(
+            (event.time, event.details.get(key))
+            for event in self._events
+            if event.kind == kind
+        )

@@ -1,0 +1,108 @@
+"""A readers–writer lock.
+
+The paper stores the provisioning planning in "a shared XML file using a
+readers-writers lock" (Section IV-C, Fig. 8).  The scheduler (writer) and
+the monitoring threads (readers) coordinate through this lock.  We provide
+a writer-preferring readers–writer lock so that a stream of readers cannot
+starve the scheduler's plan updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadersWriterLock:
+    """Writer-preferring readers–writer lock.
+
+    Multiple readers may hold the lock simultaneously; writers get
+    exclusive access.  Once a writer is waiting, newly arriving readers
+    block until the writer has been served.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer_active = False
+
+    # -- reader side -----------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Acquire the lock for reading.  Returns ``True`` on success."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer_active and self._waiting_writers == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            self._active_readers += 1
+            return True
+
+    def release_read(self) -> None:
+        """Release a previously acquired read lock."""
+        with self._cond:
+            if self._active_readers <= 0:
+                raise RuntimeError("release_read() without a matching acquire_read()")
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side -----------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Acquire the lock for writing.  Returns ``True`` on success."""
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer_active and self._active_readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        """Release a previously acquired write lock."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write() without a matching acquire_write()")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (mainly for tests) ----------------------------------
+    @property
+    def active_readers(self) -> int:
+        """Number of readers currently holding the lock."""
+        with self._cond:
+            return self._active_readers
+
+    @property
+    def writer_active(self) -> bool:
+        """Whether a writer currently holds the lock."""
+        with self._cond:
+            return self._writer_active

@@ -1,0 +1,57 @@
+"""Small validation helpers used across the package.
+
+The scheduler configuration space in the paper is full of bounded
+quantities (preferences in ``[-1, 1]`` or ``[0, 1]``, powers and FLOPS that
+must be positive, ...).  Centralising the checks keeps the error messages
+consistent and the call sites terse.
+"""
+
+from __future__ import annotations
+
+import math
+from numbers import Real
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero.
+
+    Raises :class:`ValueError` otherwise.
+    """
+    _ensure_finite_number(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    _ensure_finite_number(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def ensure_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies within ``[low, high]`` (or ``(low, high)``)."""
+    _ensure_finite_number(value, name)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return float(value)
+
+
+def _ensure_finite_number(value: float, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")

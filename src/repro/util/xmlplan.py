@@ -1,0 +1,124 @@
+"""Provisioning-planning persistence (Fig. 8 of the paper).
+
+The master agent shares its provisioning planning as a small XML document
+whose entries look like::
+
+    <timestamp value="1385896446">
+      <temperature>23.5</temperature>
+      <candidates>8</candidates>
+      <electricity_cost>0.6</electricity_cost>
+    </timestamp>
+
+Reads and writes are guarded by a readers–writer lock
+(:class:`repro.util.rwlock.ReadersWriterLock`) supplied by the caller so
+that monitoring threads and the scheduler can share the file safely.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.util.rwlock import ReadersWriterLock
+
+
+@dataclass(frozen=True, order=True)
+class PlanningEntry:
+    """One timestamped sample of the platform status.
+
+    Attributes mirror the XML tags of Fig. 8: ``timestamp`` (seconds),
+    ``temperature`` (degrees Celsius), ``candidates`` (number of candidate
+    nodes available for computation) and ``electricity_cost`` (ratio of the
+    current cost to the theoretical maximum cost, in ``[0, 1]``).
+    """
+
+    timestamp: float
+    temperature: float
+    candidates: int
+    electricity_cost: float
+
+    def to_element(self) -> ET.Element:
+        """Serialise this entry as a ``<timestamp>`` XML element."""
+        element = ET.Element("timestamp", {"value": repr(self.timestamp)})
+        ET.SubElement(element, "temperature").text = repr(self.temperature)
+        ET.SubElement(element, "candidates").text = str(self.candidates)
+        ET.SubElement(element, "electricity_cost").text = repr(self.electricity_cost)
+        return element
+
+    @classmethod
+    def from_element(cls, element: ET.Element) -> "PlanningEntry":
+        """Parse a ``<timestamp>`` element back into an entry."""
+        if element.tag != "timestamp":
+            raise ValueError(f"expected <timestamp> element, got <{element.tag}>")
+        try:
+            timestamp = float(element.attrib["value"])
+            temperature = float(_child_text(element, "temperature"))
+            candidates = int(float(_child_text(element, "candidates")))
+            cost = float(_child_text(element, "electricity_cost"))
+        except KeyError as exc:
+            raise ValueError(f"malformed planning entry: missing {exc}") from exc
+        return cls(
+            timestamp=timestamp,
+            temperature=temperature,
+            candidates=candidates,
+            electricity_cost=cost,
+        )
+
+
+def _child_text(element: ET.Element, tag: str) -> str:
+    child = element.find(tag)
+    if child is None or child.text is None:
+        raise KeyError(tag)
+    return child.text
+
+
+def write_planning(
+    path: str | Path,
+    entries: Iterable[PlanningEntry],
+    *,
+    lock: ReadersWriterLock | None = None,
+) -> None:
+    """Write ``entries`` to ``path`` as a provisioning-planning XML file.
+
+    Entries are written sorted by timestamp so readers can scan forward.
+    """
+    entries = sorted(entries)
+    root = ET.Element("provisioning_planning")
+    for entry in entries:
+        root.append(entry.to_element())
+    payload = ET.tostring(root, encoding="unicode")
+
+    def _write() -> None:
+        Path(path).write_text(payload, encoding="utf-8")
+
+    if lock is None:
+        _write()
+    else:
+        with lock.write_locked():
+            _write()
+
+
+def read_planning(
+    path: str | Path,
+    *,
+    lock: ReadersWriterLock | None = None,
+) -> Sequence[PlanningEntry]:
+    """Read a provisioning-planning XML file written by :func:`write_planning`."""
+
+    def _read() -> str:
+        return Path(path).read_text(encoding="utf-8")
+
+    if lock is None:
+        text = _read()
+    else:
+        with lock.read_locked():
+            text = _read()
+
+    root = ET.fromstring(text)
+    if root.tag != "provisioning_planning":
+        raise ValueError(
+            f"expected <provisioning_planning> root element, got <{root.tag}>"
+        )
+    return tuple(PlanningEntry.from_element(child) for child in root)

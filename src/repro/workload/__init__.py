@@ -1,0 +1,28 @@
+"""Synthetic workload generation.
+
+Reproduces the request pattern of the paper's placement experiment: a
+burst phase where the client submits ``r`` simultaneous requests followed
+by a continuous phase at an arbitrary rate of two requests per second
+(Section IV-A), plus more general arrival processes used by the additional
+examples and ablations.
+"""
+
+from repro.workload.generator import (
+    BurstThenContinuousWorkload,
+    ClosedLoopWorkload,
+    PoissonWorkload,
+    SteadyRateWorkload,
+    WorkloadGenerator,
+)
+from repro.workload.traces import TraceWorkload, load_trace, save_trace
+
+__all__ = [
+    "BurstThenContinuousWorkload",
+    "ClosedLoopWorkload",
+    "PoissonWorkload",
+    "SteadyRateWorkload",
+    "WorkloadGenerator",
+    "TraceWorkload",
+    "load_trace",
+    "save_trace",
+]

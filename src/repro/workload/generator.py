@@ -1,0 +1,237 @@
+"""Workload generators.
+
+All generators produce :class:`~repro.simulation.task.Task` objects with
+monotonically non-decreasing arrival times, suitable for feeding either a
+client in the middleware model or the simulation engine directly.
+
+The paper's placement experiment (Section IV-A) uses:
+
+* one task = 1e8 successive additions, one core per task;
+* a total of 10 client requests per available core;
+* a *burst* phase with ``r`` simultaneous requests, then a *continuous*
+  phase at two requests per second.
+
+:class:`BurstThenContinuousWorkload` encodes exactly that;
+:class:`PoissonWorkload`, :class:`SteadyRateWorkload` and
+:class:`ClosedLoopWorkload` cover the additional examples and the adaptive
+provisioning experiment (a client that adapts its request flow to the
+number of candidate nodes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.simulation.task import DEFAULT_TASK_FLOP, Task
+from repro.util.validation import ensure_non_negative, ensure_positive
+
+
+class WorkloadGenerator(ABC):
+    """Produces a finite, time-ordered sequence of tasks."""
+
+    @abstractmethod
+    def generate(self) -> Sequence[Task]:
+        """Materialise the workload as a tuple of tasks sorted by arrival time."""
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.generate())
+
+
+def _sorted_by_arrival(tasks: list[Task]) -> tuple[Task, ...]:
+    return tuple(sorted(tasks, key=lambda task: (task.arrival_time, task.task_id)))
+
+
+@dataclass
+class BurstThenContinuousWorkload(WorkloadGenerator):
+    """The paper's burst + continuous submission pattern.
+
+    Parameters
+    ----------
+    total_tasks:
+        Total number of requests (the paper uses 10 × available cores).
+    burst_size:
+        Number of simultaneous requests in the initial burst (``r``).
+    continuous_rate:
+        Requests per second during the continuous phase (paper: 2.0).
+    flop_per_task:
+        Cost of each task (paper: 1e8).
+    start_time:
+        Arrival time of the burst.
+    client / user_preference / service:
+        Propagated to every generated task.
+    """
+
+    total_tasks: int
+    burst_size: int
+    continuous_rate: float = 2.0
+    flop_per_task: float = DEFAULT_TASK_FLOP
+    start_time: float = 0.0
+    client: str = "client-0"
+    user_preference: float = 0.0
+    service: str = "cpu-burn"
+
+    def __post_init__(self) -> None:
+        if self.total_tasks < 1:
+            raise ValueError(f"total_tasks must be >= 1, got {self.total_tasks}")
+        if self.burst_size < 0:
+            raise ValueError(f"burst_size must be >= 0, got {self.burst_size}")
+        if self.burst_size > self.total_tasks:
+            raise ValueError(
+                f"burst_size ({self.burst_size}) cannot exceed total_tasks "
+                f"({self.total_tasks})"
+            )
+        ensure_positive(self.continuous_rate, "continuous_rate")
+        ensure_positive(self.flop_per_task, "flop_per_task")
+        ensure_non_negative(self.start_time, "start_time")
+
+    def generate(self) -> Sequence[Task]:
+        tasks: list[Task] = []
+        for _ in range(self.burst_size):
+            tasks.append(self._make_task(self.start_time))
+        interval = 1.0 / self.continuous_rate
+        remaining = self.total_tasks - self.burst_size
+        for index in range(remaining):
+            arrival = self.start_time + (index + 1) * interval
+            tasks.append(self._make_task(arrival))
+        return _sorted_by_arrival(tasks)
+
+    def _make_task(self, arrival: float) -> Task:
+        return Task(
+            flop=self.flop_per_task,
+            arrival_time=arrival,
+            client=self.client,
+            user_preference=self.user_preference,
+            service=self.service,
+        )
+
+
+@dataclass
+class SteadyRateWorkload(WorkloadGenerator):
+    """A constant-rate open arrival process (one request every ``1/rate`` s)."""
+
+    total_tasks: int
+    rate: float
+    flop_per_task: float = DEFAULT_TASK_FLOP
+    start_time: float = 0.0
+    client: str = "client-0"
+    user_preference: float = 0.0
+    service: str = "cpu-burn"
+
+    def __post_init__(self) -> None:
+        if self.total_tasks < 1:
+            raise ValueError(f"total_tasks must be >= 1, got {self.total_tasks}")
+        ensure_positive(self.rate, "rate")
+        ensure_positive(self.flop_per_task, "flop_per_task")
+        ensure_non_negative(self.start_time, "start_time")
+
+    def generate(self) -> Sequence[Task]:
+        interval = 1.0 / self.rate
+        tasks = [
+            Task(
+                flop=self.flop_per_task,
+                arrival_time=self.start_time + index * interval,
+                client=self.client,
+                user_preference=self.user_preference,
+                service=self.service,
+            )
+            for index in range(self.total_tasks)
+        ]
+        return _sorted_by_arrival(tasks)
+
+
+@dataclass
+class PoissonWorkload(WorkloadGenerator):
+    """Poisson arrivals with exponential inter-arrival times.
+
+    Task costs can be randomised around ``flop_per_task`` with a lognormal
+    multiplier of standard deviation ``flop_sigma`` (0.0 keeps them fixed).
+    """
+
+    total_tasks: int
+    rate: float
+    flop_per_task: float = DEFAULT_TASK_FLOP
+    flop_sigma: float = 0.0
+    start_time: float = 0.0
+    seed: int = 0
+    client: str = "client-0"
+    user_preference: float = 0.0
+    service: str = "cpu-burn"
+
+    def __post_init__(self) -> None:
+        if self.total_tasks < 1:
+            raise ValueError(f"total_tasks must be >= 1, got {self.total_tasks}")
+        ensure_positive(self.rate, "rate")
+        ensure_positive(self.flop_per_task, "flop_per_task")
+        ensure_non_negative(self.flop_sigma, "flop_sigma")
+        ensure_non_negative(self.start_time, "start_time")
+
+    def generate(self) -> Sequence[Task]:
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(scale=1.0 / self.rate, size=self.total_tasks)
+        arrivals = self.start_time + np.cumsum(gaps)
+        if self.flop_sigma > 0:
+            multipliers = rng.lognormal(mean=0.0, sigma=self.flop_sigma, size=self.total_tasks)
+        else:
+            multipliers = np.ones(self.total_tasks)
+        tasks = [
+            Task(
+                flop=float(self.flop_per_task * multipliers[index]),
+                arrival_time=float(arrivals[index]),
+                client=self.client,
+                user_preference=self.user_preference,
+                service=self.service,
+            )
+            for index in range(self.total_tasks)
+        ]
+        return _sorted_by_arrival(tasks)
+
+
+@dataclass
+class ClosedLoopWorkload(WorkloadGenerator):
+    """A client that keeps ``concurrency`` requests in flight.
+
+    Used by the adaptive-provisioning experiment, whose client "dynamically
+    adjusts its flow of requests to reach the capacity of available nodes"
+    (Section IV-C).  Because the actual submission instants depend on the
+    completions, this generator emits *submission opportunities* spaced by
+    ``think_time``; the experiment driver caps in-flight requests at the
+    current candidate capacity.
+    """
+
+    total_tasks: int
+    concurrency: int
+    think_time: float = 1.0
+    flop_per_task: float = DEFAULT_TASK_FLOP
+    start_time: float = 0.0
+    client: str = "client-0"
+    user_preference: float = 0.0
+    service: str = "cpu-burn"
+
+    def __post_init__(self) -> None:
+        if self.total_tasks < 1:
+            raise ValueError(f"total_tasks must be >= 1, got {self.total_tasks}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        ensure_positive(self.think_time, "think_time")
+        ensure_positive(self.flop_per_task, "flop_per_task")
+        ensure_non_negative(self.start_time, "start_time")
+
+    def generate(self) -> Sequence[Task]:
+        tasks: list[Task] = []
+        for index in range(self.total_tasks):
+            wave = index // self.concurrency
+            arrival = self.start_time + wave * self.think_time
+            tasks.append(
+                Task(
+                    flop=self.flop_per_task,
+                    arrival_time=arrival,
+                    client=self.client,
+                    user_preference=self.user_preference,
+                    service=self.service,
+                )
+            )
+        return _sorted_by_arrival(tasks)

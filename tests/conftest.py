@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infrastructure.node import Node, NodeSpec
+from repro.infrastructure.platform import grid5000_placement_platform
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.simulation.task import Task
+
+
+def make_spec(
+    name: str = "node-0",
+    cluster: str = "test",
+    *,
+    cores: int = 4,
+    flops_per_core: float = 2.0e9,
+    idle_power: float = 100.0,
+    peak_power: float = 200.0,
+    boot_power: float = 150.0,
+    boot_time: float = 60.0,
+    memory_gb: float = 16.0,
+) -> NodeSpec:
+    """Build a node spec with sensible defaults, overridable per test."""
+    return NodeSpec(
+        name=name,
+        cluster=cluster,
+        cores=cores,
+        flops_per_core=flops_per_core,
+        idle_power=idle_power,
+        peak_power=peak_power,
+        boot_power=boot_power,
+        boot_time=boot_time,
+        memory_gb=memory_gb,
+    )
+
+
+def make_vector(
+    server: str = "node-0",
+    cluster: str = "test",
+    *,
+    flops_per_core: float = 2.0e9,
+    cores: float = 4,
+    free_cores: float = 4,
+    waiting_time: float = 0.0,
+    mean_power: float = 200.0,
+    idle_power: float = 100.0,
+    peak_power: float = 200.0,
+    boot_power: float = 150.0,
+    boot_time: float = 60.0,
+    available: bool = True,
+) -> EstimationVector:
+    """Build a complete estimation vector for scheduler tests."""
+    vector = EstimationVector(server=server, cluster=cluster)
+    vector.set(EstimationTags.FLOPS_PER_CORE, flops_per_core)
+    vector.set(EstimationTags.TOTAL_FLOPS, flops_per_core * cores)
+    vector.set(EstimationTags.FREE_CORES, free_cores)
+    vector.set(EstimationTags.TOTAL_CORES, cores)
+    vector.set(EstimationTags.WAITING_TIME, waiting_time)
+    vector.set(EstimationTags.COMPLETED_TASKS, 0.0)
+    vector.set(EstimationTags.MEAN_POWER, mean_power)
+    vector.set(EstimationTags.IDLE_POWER, idle_power)
+    vector.set(EstimationTags.PEAK_POWER, peak_power)
+    vector.set(EstimationTags.BOOT_POWER, boot_power)
+    vector.set(EstimationTags.BOOT_TIME, boot_time)
+    vector.set(EstimationTags.NODE_AVAILABLE, 1.0 if available else 0.0)
+    return vector
+
+
+@pytest.fixture
+def spec() -> NodeSpec:
+    """A default node spec."""
+    return make_spec()
+
+@pytest.fixture
+def node(spec: NodeSpec) -> Node:
+    """A powered-on node built from the default spec."""
+    return Node(spec)
+
+
+@pytest.fixture
+def small_platform():
+    """A 1-node-per-cluster Grid'5000-style platform (3 nodes)."""
+    return grid5000_placement_platform(nodes_per_cluster=1)
+
+
+@pytest.fixture
+def placement_platform():
+    """The full Table I platform (12 nodes)."""
+    return grid5000_placement_platform()
+
+
+@pytest.fixture
+def task() -> Task:
+    """A default unit task."""
+    return Task(flop=1.0e8, arrival_time=0.0)

@@ -1,0 +1,167 @@
+"""Tests for budget-constrained scheduling (the future-work extension)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.budget import BudgetAwareScheduler, BudgetTracker, EnergyBudget
+from repro.core.policies import PerformancePolicy
+from repro.middleware.plugin_scheduler import CandidateEntry
+from repro.middleware.requests import ServiceRequest
+from repro.simulation.task import Task, TaskExecution
+from tests.conftest import make_vector
+
+
+def make_request(flop=1e9):
+    return ServiceRequest.from_task(Task(flop=flop))
+
+
+def entry(server, **kwargs):
+    return CandidateEntry.from_vector(make_vector(server=server, **kwargs))
+
+
+class TestEnergyBudget:
+    def test_initial_state(self):
+        budget = EnergyBudget(allowance=1000.0)
+        assert budget.consumed() == 0.0
+        assert budget.remaining() == 1000.0
+        assert budget.utilisation() == 0.0
+        assert not budget.exhausted()
+
+    def test_charging_reduces_remaining(self):
+        budget = EnergyBudget(allowance=1000.0)
+        budget.charge(300.0)
+        assert budget.consumed() == 300.0
+        assert budget.remaining() == 700.0
+        assert budget.utilisation() == pytest.approx(0.3)
+
+    def test_exhaustion(self):
+        budget = EnergyBudget(allowance=100.0)
+        budget.charge(150.0)
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+        assert budget.utilisation() == 1.0
+
+    def test_periodic_renewal(self):
+        budget = EnergyBudget(allowance=100.0, period=3600.0)
+        budget.charge(90.0, now=100.0)
+        assert budget.remaining(now=100.0) == pytest.approx(10.0)
+        # A new period resets the consumption.
+        assert budget.remaining(now=3700.0) == 100.0
+        budget.charge(50.0, now=3800.0)
+        assert budget.consumed(now=3800.0) == 50.0
+
+    def test_renewal_skips_multiple_periods(self):
+        budget = EnergyBudget(allowance=100.0, period=10.0)
+        budget.charge(60.0, now=0.0)
+        assert budget.consumed(now=95.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBudget(allowance=0.0)
+        with pytest.raises(ValueError):
+            EnergyBudget(allowance=10.0, period=0.0)
+        budget = EnergyBudget(allowance=10.0)
+        with pytest.raises(ValueError):
+            budget.charge(-1.0)
+
+    @given(
+        charges=st.lists(st.floats(min_value=0, max_value=100), max_size=30),
+        allowance=st.floats(min_value=1, max_value=1000),
+    )
+    def test_remaining_never_negative(self, charges, allowance):
+        budget = EnergyBudget(allowance=allowance)
+        for joules in charges:
+            budget.charge(joules)
+        assert budget.remaining() >= 0.0
+        assert 0.0 <= budget.utilisation() <= 1.0
+
+
+class TestBudgetAwareScheduler:
+    def candidates(self):
+        return [
+            entry("fast-hungry", flops_per_core=4e9, mean_power=400.0),
+            entry("slow-frugal", flops_per_core=1e9, mean_power=90.0),
+        ]
+
+    def test_defers_to_inner_policy_while_budget_is_healthy(self):
+        budget = EnergyBudget(allowance=1000.0)
+        scheduler = BudgetAwareScheduler(PerformancePolicy(), budget)
+        ranked = scheduler.sort(make_request(), self.candidates())
+        assert ranked[0].server == "fast-hungry"
+
+    def test_switches_to_energy_ranking_past_soft_threshold(self):
+        budget = EnergyBudget(allowance=1000.0)
+        budget.charge(900.0)
+        scheduler = BudgetAwareScheduler(PerformancePolicy(), budget, soft_threshold=0.8)
+        ranked = scheduler.sort(make_request(), self.candidates())
+        assert ranked[0].server == "slow-frugal"
+
+    def test_strict_mode_drops_expensive_candidates_when_exhausted(self):
+        budget = EnergyBudget(allowance=100.0)
+        budget.charge(200.0)
+        scheduler = BudgetAwareScheduler(PerformancePolicy(), budget, strict=True)
+        ranked = scheduler.sort(make_request(), self.candidates())
+        assert [c.server for c in ranked] == ["slow-frugal"]
+
+    def test_non_strict_mode_keeps_all_candidates(self):
+        budget = EnergyBudget(allowance=100.0)
+        budget.charge(200.0)
+        scheduler = BudgetAwareScheduler(PerformancePolicy(), budget, strict=False)
+        ranked = scheduler.sort(make_request(), self.candidates())
+        assert len(ranked) == 2
+        assert ranked[0].server == "slow-frugal"
+
+    def test_always_keeps_at_least_one_candidate(self):
+        budget = EnergyBudget(allowance=1.0)
+        budget.charge(10.0)
+        scheduler = BudgetAwareScheduler(PerformancePolicy(), budget)
+        ranked = scheduler.sort(make_request(), [entry("only", mean_power=500.0)])
+        assert len(ranked) == 1
+
+    def test_empty_candidate_list(self):
+        budget = EnergyBudget(allowance=1.0)
+        scheduler = BudgetAwareScheduler(PerformancePolicy(), budget)
+        assert scheduler.sort(make_request(), []) == []
+
+    def test_clock_drives_periodic_budget(self):
+        now = {"t": 0.0}
+        budget = EnergyBudget(allowance=100.0, period=60.0)
+        scheduler = BudgetAwareScheduler(
+            PerformancePolicy(), budget, clock=lambda: now["t"]
+        )
+        budget.charge(100.0, now=0.0)
+        ranked = scheduler.sort(make_request(), self.candidates())
+        assert ranked[0].server == "slow-frugal"
+        # One period later the allowance renews and the inner policy rules again.
+        now["t"] = 120.0
+        ranked = scheduler.sort(make_request(), self.candidates())
+        assert ranked[0].server == "fast-hungry"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BudgetAwareScheduler(
+                PerformancePolicy(), EnergyBudget(allowance=1.0), soft_threshold=1.5
+            )
+
+
+class TestBudgetTracker:
+    def test_charge_executions(self):
+        budget = EnergyBudget(allowance=1000.0)
+        tracker = BudgetTracker(budget)
+        executions = [
+            TaskExecution(
+                task_id=i, node="n", cluster="c",
+                submitted_at=0.0, started_at=0.0, completed_at=10.0, energy=100.0,
+            )
+            for i in range(3)
+        ]
+        assert tracker.charge_executions(executions) == 3
+        assert budget.consumed(now=10.0) == pytest.approx(300.0)
+        assert tracker.charged_tasks == 3
+
+    def test_incremental_charge(self):
+        tracker = BudgetTracker(EnergyBudget(allowance=50.0))
+        tracker.charge(20.0)
+        tracker.charge(40.0)
+        assert tracker.budget.exhausted()
+        assert tracker.charged_tasks == 2

@@ -1,0 +1,129 @@
+"""Tests for Algorithm 1 (greedy candidate-server selection)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.candidate_selection import (
+    candidate_count_for_fraction,
+    select_candidate_servers,
+)
+from repro.core.greenperf import GreenPerfRanking, RankedServer
+from tests.conftest import make_vector
+
+
+def ranked(name, power, performance=1e9):
+    return RankedServer(
+        server=name, greenperf=power / performance, power=power, performance=performance
+    )
+
+
+class TestSelectCandidateServers:
+    def test_full_budget_selects_everyone(self):
+        servers = [ranked("a", 100.0), ranked("b", 200.0), ranked("c", 300.0)]
+        selected = select_candidate_servers(servers, provider_preference=1.0)
+        assert [entry.server for entry in selected] == ["a", "b", "c"]
+
+    def test_zero_budget_selects_no_one(self):
+        servers = [ranked("a", 100.0)]
+        assert select_candidate_servers(servers, provider_preference=0.0) == ()
+
+    def test_partial_budget_walks_greenperf_order(self):
+        # Total power 600, budget 0.5 -> 300: select a (100) then b (200)
+        # because the accumulated power only reaches the budget after b.
+        servers = [ranked("a", 100.0), ranked("b", 200.0), ranked("c", 300.0)]
+        selected = select_candidate_servers(servers, provider_preference=0.5)
+        assert [entry.server for entry in selected] == ["a", "b"]
+
+    def test_budget_crossing_server_is_included(self):
+        """Algorithm 1 tests the budget *before* adding, so the crossing server stays."""
+        servers = [ranked("a", 100.0), ranked("b", 100.0)]
+        # budget = 0.6 * 200 = 120 -> a (100) is below budget, so b is added too.
+        selected = select_candidate_servers(servers, provider_preference=0.6)
+        assert [entry.server for entry in selected] == ["a", "b"]
+
+    def test_minimum_one_guarantee(self):
+        servers = [ranked("a", 1000.0), ranked("b", 1000.0)]
+        selected = select_candidate_servers(
+            servers, provider_preference=0.0001, minimum_one=True
+        )
+        assert [entry.server for entry in selected] == ["a"]
+
+    def test_minimum_one_can_be_disabled(self):
+        servers = [ranked("a", 1000.0)]
+        selected = select_candidate_servers(
+            servers, provider_preference=1e-6, minimum_one=False
+        )
+        # 1e-6 * 1000 = 1e-3 W budget: the loop adds "a" anyway because the
+        # accumulated power (0) is below the budget before the first add.
+        assert [entry.server for entry in selected] == ["a"]
+
+    def test_max_servers_cap(self):
+        servers = [ranked(f"s{i}", 10.0) for i in range(10)]
+        selected = select_candidate_servers(servers, provider_preference=1.0, max_servers=3)
+        assert len(selected) == 3
+
+    def test_accepts_greenperf_ranking_object(self):
+        vectors = [
+            make_vector(server="frugal", mean_power=100.0),
+            make_vector(server="hungry", mean_power=300.0),
+        ]
+        ranking = GreenPerfRanking(vectors)
+        selected = select_candidate_servers(ranking, provider_preference=1.0)
+        assert [entry.server for entry in selected] == ["frugal", "hungry"]
+
+    def test_empty_ranking(self):
+        assert select_candidate_servers([], provider_preference=1.0) == ()
+
+    def test_preference_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            select_candidate_servers([ranked("a", 1.0)], provider_preference=1.5)
+
+    @given(
+        powers=st.lists(st.floats(min_value=1, max_value=500), min_size=1, max_size=30),
+        preference=st.floats(min_value=0, max_value=1),
+    )
+    def test_selected_power_respects_cap_property(self, powers, preference):
+        servers = [ranked(f"s{i}", power) for i, power in enumerate(powers)]
+        selected = select_candidate_servers(servers, provider_preference=preference)
+        total = sum(power for power in powers)
+        required = preference * total
+        selected_power = sum(entry.power for entry in selected)
+        if len(selected) > 1:
+            # Without the final (budget-crossing) server the cap holds strictly.
+            assert selected_power - selected[-1].power < required
+        # The selection is a prefix of the ranking.
+        assert [entry.server for entry in selected] == [
+            f"s{i}" for i in range(len(selected))
+        ]
+
+
+class TestCandidateCountForFraction:
+    def test_paper_rule_counts_for_twelve_nodes(self):
+        """The counts quoted in Section IV-C for the 12-node platform."""
+        assert candidate_count_for_fraction(12, 0.20) == 2
+        assert candidate_count_for_fraction(12, 0.40) == 4
+        assert candidate_count_for_fraction(12, 0.70) == 8
+        assert candidate_count_for_fraction(12, 1.00) == 12
+
+    def test_positive_fraction_yields_at_least_one(self):
+        assert candidate_count_for_fraction(10, 0.01) == 1
+
+    def test_zero_fraction_yields_zero(self):
+        assert candidate_count_for_fraction(10, 0.0) == 0
+
+    def test_zero_nodes(self):
+        assert candidate_count_for_fraction(0, 0.5) == 0
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_count_for_fraction(-1, 0.5)
+
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        fraction=st.floats(min_value=0, max_value=1),
+    )
+    def test_count_bounded_property(self, total, fraction):
+        count = candidate_count_for_fraction(total, fraction)
+        assert 0 <= count <= total
+        if fraction > 0 and total > 0:
+            assert count >= 1

@@ -1,0 +1,58 @@
+"""Tests for energy-related events."""
+
+import pytest
+
+from repro.core.events import ElectricityCostEvent, TemperatureEvent
+
+
+class TestElectricityCostEvent:
+    def test_scheduled_by_default(self):
+        event = ElectricityCostEvent(time=100.0, cost=0.8)
+        assert event.scheduled
+        assert event.kind == "electricity_cost"
+
+    def test_visible_ahead_of_time_with_lookahead(self):
+        event = ElectricityCostEvent(time=3600.0, cost=0.5)
+        assert not event.visible_at(2000.0)
+        assert event.visible_at(2400.0, lookahead=1200.0)
+        assert event.visible_at(3600.0)
+
+    def test_cost_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ElectricityCostEvent(time=0.0, cost=1.2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ElectricityCostEvent(time=-1.0, cost=0.5)
+
+    def test_describe_mentions_cost_and_schedule(self):
+        text = ElectricityCostEvent(time=60.0, cost=0.8).describe()
+        assert "0.80" in text
+        assert "scheduled" in text
+
+
+class TestTemperatureEvent:
+    def test_unexpected_by_default(self):
+        event = TemperatureEvent(time=100.0, temperature=30.0)
+        assert not event.scheduled
+        assert event.kind == "temperature"
+
+    def test_unexpected_events_not_visible_early_even_with_lookahead(self):
+        event = TemperatureEvent(time=1000.0, temperature=30.0)
+        assert not event.visible_at(900.0, lookahead=1200.0)
+        assert event.visible_at(1000.0)
+        assert event.visible_at(1500.0)
+
+    def test_can_be_marked_scheduled(self):
+        event = TemperatureEvent(time=100.0, temperature=28.0, scheduled=True)
+        assert event.visible_at(50.0, lookahead=60.0)
+
+    def test_describe_mentions_temperature(self):
+        text = TemperatureEvent(time=60.0, temperature=30.0).describe()
+        assert "30.0" in text
+        assert "unexpected" in text
+
+    def test_negative_lookahead_rejected(self):
+        event = TemperatureEvent(time=10.0, temperature=25.0)
+        with pytest.raises(ValueError):
+            event.visible_at(5.0, lookahead=-1.0)

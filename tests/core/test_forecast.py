@@ -1,0 +1,157 @@
+"""Tests for the resource-usage forecasting substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.forecast import (
+    MovingAverageForecaster,
+    PeriodicProfileForecaster,
+    UsageHistory,
+    UsageSample,
+    provider_preference_from_forecast,
+)
+from repro.core.preferences import ProviderPreference
+from repro.infrastructure.electricity import ElectricityCostSchedule, TariffPeriod
+
+
+class TestUsageHistory:
+    def test_records_in_time_order(self):
+        history = UsageHistory()
+        history.record(10.0, 0.5)
+        history.record(5.0, 0.2)
+        assert [sample.time for sample in history.samples] == [5.0, 10.0]
+        assert len(history) == 2
+
+    def test_between(self):
+        history = UsageHistory()
+        for time in (0.0, 10.0, 20.0, 30.0):
+            history.record(time, 0.1)
+        assert [s.time for s in history.between(5.0, 25.0)] == [10.0, 20.0]
+        with pytest.raises(ValueError):
+            history.between(10.0, 5.0)
+
+    def test_latest(self):
+        history = UsageHistory()
+        assert history.latest() is None
+        history.record(3.0, 0.7)
+        assert history.latest().time == 3.0
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            UsageSample(time=-1.0, utilization=0.5)
+        with pytest.raises(ValueError):
+            UsageSample(time=0.0, utilization=1.5)
+
+    def test_constructor_sorts_samples(self):
+        history = UsageHistory([UsageSample(5.0, 0.5), UsageSample(1.0, 0.1)])
+        assert [s.time for s in history.samples] == [1.0, 5.0]
+
+
+class TestMovingAverageForecaster:
+    def test_default_when_empty(self):
+        forecaster = MovingAverageForecaster(default=0.4)
+        assert forecaster.predict(UsageHistory(), 100.0) == 0.4
+
+    def test_mean_of_recent_window(self):
+        history = UsageHistory()
+        history.record(0.0, 0.2)      # outside the window
+        history.record(3800.0, 0.6)
+        history.record(4000.0, 0.8)
+        forecaster = MovingAverageForecaster(window=600.0)
+        assert forecaster.predict(history, 5000.0) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverageForecaster(window=0.0)
+        with pytest.raises(ValueError):
+            MovingAverageForecaster(default=1.5)
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=50)
+    )
+    def test_prediction_always_in_unit_interval(self, values):
+        history = UsageHistory()
+        for index, value in enumerate(values):
+            history.record(float(index), value)
+        forecaster = MovingAverageForecaster(window=10.0)
+        assert 0.0 <= forecaster.predict(history, float(len(values))) <= 1.0
+
+
+class TestPeriodicProfileForecaster:
+    def test_learns_daily_pattern(self):
+        """High utilisation every 'day' at hour 10, low at hour 2."""
+        forecaster = PeriodicProfileForecaster(period=24.0, bins=24)
+        history = UsageHistory()
+        for day in range(5):
+            history.record(day * 24.0 + 10.0, 0.9)
+            history.record(day * 24.0 + 2.0, 0.1)
+        # Predict two days into the future.
+        assert forecaster.predict(history, 7 * 24.0 + 10.5) == pytest.approx(0.9)
+        assert forecaster.predict(history, 7 * 24.0 + 2.5) == pytest.approx(0.1)
+
+    def test_falls_back_to_overall_mean_for_unseen_bins(self):
+        forecaster = PeriodicProfileForecaster(period=24.0, bins=24)
+        history = UsageHistory()
+        history.record(10.0, 0.6)
+        history.record(34.0, 0.8)
+        assert forecaster.predict(history, 5.0) == pytest.approx(0.7)
+
+    def test_default_when_empty(self):
+        forecaster = PeriodicProfileForecaster(default=0.25)
+        assert forecaster.predict(UsageHistory(), 1000.0) == 0.25
+
+    def test_profile_exposes_bins(self):
+        forecaster = PeriodicProfileForecaster(period=4.0, bins=4, default=0.0)
+        history = UsageHistory()
+        history.record(0.5, 1.0)
+        history.record(4.5, 0.5)
+        profile = forecaster.profile(history)
+        assert len(profile) == 4
+        assert profile[0] == pytest.approx(0.75)
+        assert profile[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicProfileForecaster(period=0.0)
+        with pytest.raises(ValueError):
+            PeriodicProfileForecaster(bins=0)
+
+    @given(
+        times=st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=50),
+        at=st.floats(min_value=0, max_value=1e6),
+    )
+    def test_prediction_in_unit_interval(self, times, at):
+        forecaster = PeriodicProfileForecaster(period=3600.0, bins=12)
+        history = UsageHistory()
+        for index, time in enumerate(times):
+            history.record(time, (index % 10) / 10.0)
+        assert 0.0 <= forecaster.predict(history, at) <= 1.0
+
+
+class TestProviderPreferenceFromForecast:
+    def test_combines_forecast_and_tariff(self):
+        history = UsageHistory()
+        history.record(0.0, 0.8)
+        electricity = ElectricityCostSchedule(
+            [TariffPeriod(start=100.0, cost=0.5)], default_cost=1.0
+        )
+        forecaster = MovingAverageForecaster(window=1000.0)
+        weights = ProviderPreference(alpha=0.5, beta=0.5)
+        # Before the tariff change: u=0.8, c=1.0 -> 0.5*0 + 0.5*0.8 = 0.4
+        before = provider_preference_from_forecast(
+            forecaster, history, electricity, 50.0, weights=weights
+        )
+        assert before == pytest.approx(0.4)
+        # After the tariff change: u=0.8, c=0.5 -> 0.5*0.5 + 0.5*0.8 = 0.65
+        after = provider_preference_from_forecast(
+            forecaster, history, electricity, 200.0, weights=weights
+        )
+        assert after == pytest.approx(0.65)
+
+    def test_default_weights(self):
+        history = UsageHistory()
+        history.record(0.0, 1.0)
+        value = provider_preference_from_forecast(
+            MovingAverageForecaster(), history, ElectricityCostSchedule.constant(0.0), 10.0
+        )
+        assert value == pytest.approx(1.0)

@@ -1,0 +1,138 @@
+"""Tests for the completion-time / energy / score models (Equations 4-6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scoring import (
+    ServerScore,
+    completion_time,
+    energy_consumption,
+    preference_exponent,
+    score,
+)
+from tests.conftest import make_vector
+
+
+class TestCompletionTime:
+    def test_active_server_pays_waiting_queue(self):
+        # Eq. 4, active branch: w_s + n_i / f_s
+        assert completion_time(1e9, 1e9, active=True, waiting_time=5.0) == pytest.approx(6.0)
+
+    def test_inactive_server_pays_boot_time(self):
+        # Eq. 4, inactive branch: bt_s + n_i / f_s
+        assert completion_time(1e9, 1e9, active=False, boot_time=120.0) == pytest.approx(121.0)
+
+    def test_waiting_ignored_when_inactive(self):
+        assert completion_time(
+            1e9, 1e9, active=False, waiting_time=50.0, boot_time=10.0
+        ) == pytest.approx(11.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            completion_time(1e9, 0.0, active=True)
+        with pytest.raises(ValueError):
+            completion_time(-1.0, 1e9, active=True)
+
+
+class TestEnergyConsumption:
+    def test_active_server_energy(self):
+        # Eq. 5, active branch: c_s * n_i / f_s
+        assert energy_consumption(
+            1e9, 1e9, active=True, full_load_power=200.0
+        ) == pytest.approx(200.0)
+
+    def test_inactive_server_adds_boot_energy(self):
+        # Eq. 5, inactive branch: bt_s * bc_s + c_s * n_i / f_s
+        assert energy_consumption(
+            1e9, 1e9, active=False, full_load_power=200.0, boot_time=60.0, boot_power=150.0
+        ) == pytest.approx(60.0 * 150.0 + 200.0)
+
+    def test_boot_cost_ignored_when_active(self):
+        assert energy_consumption(
+            1e9, 1e9, active=True, full_load_power=200.0, boot_time=60.0, boot_power=150.0
+        ) == pytest.approx(200.0)
+
+
+class TestScore:
+    def test_exponent_matches_equation6(self):
+        assert preference_exponent(0.0) == pytest.approx(1.0)
+        assert preference_exponent(0.9) == pytest.approx(2 / 1.9 - 1)
+        assert preference_exponent(-0.9) == pytest.approx(2 / 0.1 - 1)
+
+    def test_exponent_clamps_extreme_preferences(self):
+        # P = -1 would make the exponent diverge; the clamp keeps it finite.
+        assert preference_exponent(-1.0) == pytest.approx(19.0)
+        assert preference_exponent(1.0) == pytest.approx(2 / 1.9 - 1)
+
+    def test_neutral_preference_is_time_times_energy(self):
+        assert score(10.0, 5.0, 0.0) == pytest.approx(50.0)
+
+    def test_performance_preference_is_time_dominated(self):
+        """Equation 7: P -> -0.9 makes the score follow computation time."""
+        fast_hungry = score(time=10.0, energy=1000.0, user_preference=-0.9)
+        slow_frugal = score(time=20.0, energy=10.0, user_preference=-0.9)
+        assert fast_hungry < slow_frugal
+
+    def test_energy_preference_is_energy_dominated(self):
+        """Equation 7: P -> +0.9 makes the score follow energy consumption."""
+        fast_hungry = score(time=10.0, energy=1000.0, user_preference=0.9)
+        slow_frugal = score(time=20.0, energy=10.0, user_preference=0.9)
+        assert slow_frugal < fast_hungry
+
+    def test_lower_score_is_better_on_both_axes(self):
+        better = score(5.0, 50.0, 0.0)
+        worse = score(10.0, 100.0, 0.0)
+        assert better < worse
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ValueError):
+            score(0.0, 10.0, 0.0)
+
+    @given(
+        time=st.floats(min_value=0.1, max_value=1e5),
+        energy=st.floats(min_value=0.1, max_value=1e7),
+        preference=st.floats(min_value=-1, max_value=1),
+    )
+    def test_score_is_positive(self, time, energy, preference):
+        assert score(time, energy, preference) > 0
+
+    @given(
+        time=st.floats(min_value=0.1, max_value=1e4),
+        energy_low=st.floats(min_value=0.1, max_value=1e6),
+        extra=st.floats(min_value=0.1, max_value=1e6),
+        preference=st.floats(min_value=-1, max_value=1),
+    )
+    def test_score_monotone_in_energy(self, time, energy_low, extra, preference):
+        assert score(time, energy_low, preference) < score(time, energy_low + extra, preference)
+
+
+class TestServerScore:
+    def test_from_vector_active_server(self):
+        vector = make_vector(
+            flops_per_core=1e9, waiting_time=2.0, mean_power=100.0, available=True
+        )
+        evaluation = ServerScore.from_vector(vector, flop=1e9, user_preference=0.0)
+        assert evaluation.time == pytest.approx(3.0)
+        assert evaluation.energy == pytest.approx(100.0)
+        assert evaluation.score == pytest.approx(300.0)
+        assert evaluation.server == vector.server
+
+    def test_from_vector_inactive_server_pays_boot(self):
+        vector = make_vector(
+            flops_per_core=1e9,
+            boot_time=10.0,
+            boot_power=50.0,
+            mean_power=100.0,
+            available=False,
+        )
+        evaluation = ServerScore.from_vector(vector, flop=1e9, user_preference=0.0)
+        assert evaluation.time == pytest.approx(11.0)
+        assert evaluation.energy == pytest.approx(10.0 * 50.0 + 100.0)
+
+    def test_static_power_option(self):
+        vector = make_vector(mean_power=100.0, peak_power=400.0, flops_per_core=1e9)
+        dynamic = ServerScore.from_vector(vector, flop=1e9, user_preference=0.0)
+        static = ServerScore.from_vector(
+            vector, flop=1e9, user_preference=0.0, use_dynamic_power=False
+        )
+        assert static.energy == pytest.approx(4 * dynamic.energy)

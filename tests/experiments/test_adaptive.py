@@ -1,0 +1,118 @@
+"""Tests for the adaptive resource-provisioning experiment (Figure 9).
+
+The full 260-minute scenario runs in the benchmark; tests exercise a
+shortened scenario that still hits every event type.
+"""
+
+import pytest
+
+from repro.core.events import ElectricityCostEvent, TemperatureEvent
+from repro.experiments.adaptive import (
+    AdaptiveExperimentConfig,
+    default_adaptive_events,
+    run_adaptive_experiment,
+)
+
+_MIN = 60.0
+
+SHORT = AdaptiveExperimentConfig(
+    duration=80 * _MIN,
+    check_period=600.0,
+    lookahead=1200.0,
+    task_flop=2.0e11,
+    client_tick=120.0,
+    sample_period=30.0,
+    events=(
+        # Event times leave the first check (t=0, look-ahead 20 min) on the
+        # regular tariff and give the heat excursion three checks to ramp
+        # the pool all the way down to 2 nodes.
+        ElectricityCostEvent(time=25 * _MIN, cost=0.8, scheduled=True),
+        ElectricityCostEvent(time=35 * _MIN, cost=0.5, scheduled=True),
+        TemperatureEvent(time=45 * _MIN, temperature=30.0, scheduled=False),
+        TemperatureEvent(time=75 * _MIN, temperature=22.0, scheduled=False),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_adaptive_experiment(SHORT)
+
+
+class TestDefaultScenario:
+    def test_default_events_match_paper(self):
+        events = default_adaptive_events()
+        assert len(events) == 4
+        costs = [e for e in events if isinstance(e, ElectricityCostEvent)]
+        temps = [e for e in events if isinstance(e, TemperatureEvent)]
+        assert [c.cost for c in costs] == [0.8, 0.5]
+        assert all(c.scheduled for c in costs)
+        assert all(not t.scheduled for t in temps)
+        assert temps[0].temperature > 25.0
+        assert temps[1].temperature < 25.0
+
+    def test_default_config_covers_260_minutes(self):
+        config = AdaptiveExperimentConfig()
+        assert config.duration == 260 * 60.0
+        assert config.check_period == 600.0
+        assert config.lookahead == 1200.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveExperimentConfig(duration=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveExperimentConfig(nodes_per_cluster=0)
+
+
+class TestShortScenario:
+    def test_checks_happen_every_period(self, result):
+        times = [time for time, _ in result.candidate_series]
+        assert times == pytest.approx([i * 600.0 for i in range(len(times))])
+        assert len(times) >= 8
+
+    def test_starts_with_regular_tariff_pool(self, result):
+        """Cost 1.0 -> 40 % of the 12 nodes -> 4 candidates."""
+        assert result.candidate_series[0][1] == 4
+        assert result.total_nodes == 12
+
+    def test_candidates_grow_after_cost_drops(self, result):
+        """Events 1-2: the pool ramps towards 8 and then 12 candidates."""
+        during_cheap = result.candidates_at(45 * _MIN)
+        assert during_cheap > 4
+        peak = max(count for _, count in result.candidate_series)
+        assert peak == 12
+
+    def test_heat_event_shrinks_pool(self, result):
+        """Event 3: overheating caps the pool at 2 nodes (20 % of 12)."""
+        low = min(
+            count for time, count in result.candidate_series if time >= 45 * _MIN
+        )
+        assert low == 2
+
+    def test_recovery_regrows_pool(self, result):
+        """Event 4: once the temperature is back in range the pool regrows."""
+        final = result.candidate_series[-1][1]
+        assert final > 2
+
+    def test_candidate_count_never_exceeds_platform(self, result):
+        assert all(0 <= count <= 12 for _, count in result.candidate_series)
+
+    def test_power_tracks_candidate_pool(self, result):
+        """The measured power is higher with 12 candidates than with 2."""
+        high = result.mean_power_between(40 * _MIN, 50 * _MIN)
+        low = result.mean_power_between(65 * _MIN, 70 * _MIN)
+        assert high > low
+
+    def test_tasks_complete_and_energy_recorded(self, result):
+        assert result.completed_tasks > 0
+        assert result.total_energy > 0.0
+
+    def test_planning_entries_mirror_checks(self, result):
+        assert len(result.planning_entries) == len(result.candidate_series)
+        for entry, (time, count) in zip(result.planning_entries, result.candidate_series):
+            assert entry.timestamp == time
+            assert entry.candidates == count
+
+    def test_candidates_at_interpolates_steps(self, result):
+        assert result.candidates_at(0.0) == result.candidate_series[0][1]
+        assert result.candidates_at(1e9) == result.candidate_series[-1][1]

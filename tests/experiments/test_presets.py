@@ -1,0 +1,71 @@
+"""Tests for the experiment presets (Tables I and III)."""
+
+import pytest
+
+from repro.experiments.presets import (
+    CALIBRATED_TASK_FLOP,
+    PlacementExperimentConfig,
+    paper_infrastructure_table,
+    simulated_clusters_table,
+)
+
+
+class TestPlacementConfig:
+    def test_defaults_match_paper_parameters(self):
+        config = PlacementExperimentConfig()
+        assert config.nodes_per_cluster == 4
+        assert config.requests_per_core == 10
+        assert config.continuous_rate == 2.0
+        assert config.task_flop == CALIBRATED_TASK_FLOP
+
+    def test_platform_has_twelve_nodes_by_default(self):
+        platform = PlacementExperimentConfig().build_platform()
+        assert len(platform) == 12
+
+    def test_total_tasks_is_ten_per_core(self):
+        config = PlacementExperimentConfig()
+        assert config.total_tasks(104) == 1040
+
+    def test_default_burst_is_one_per_core(self):
+        config = PlacementExperimentConfig()
+        assert config.effective_burst(104) == 104
+
+    def test_explicit_burst_clipped_to_total(self):
+        config = PlacementExperimentConfig(requests_per_core=1, burst_size=500)
+        assert config.effective_burst(10) == 10
+
+    def test_build_workload_counts(self):
+        config = PlacementExperimentConfig(nodes_per_cluster=1, requests_per_core=2)
+        workload = config.build_workload(26)
+        tasks = workload.generate()
+        assert len(tasks) == 52
+        assert tasks[0].flop == config.task_flop
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementExperimentConfig(nodes_per_cluster=0)
+        with pytest.raises(ValueError):
+            PlacementExperimentConfig(requests_per_core=0)
+        with pytest.raises(ValueError):
+            PlacementExperimentConfig(task_flop=0.0)
+        with pytest.raises(ValueError):
+            PlacementExperimentConfig(burst_size=-1)
+
+
+class TestPaperTables:
+    def test_table1_rows(self):
+        rows = paper_infrastructure_table()
+        assert len(rows) == 5
+        roles = [row["role"] for row in rows]
+        assert roles.count("SED") == 3
+        assert "MA" in roles and "Client" in roles
+        sed_nodes = sum(row["nodes"] for row in rows if row["role"] == "SED")
+        assert sed_nodes == 12
+
+    def test_table3_rows(self):
+        rows = simulated_clusters_table()
+        by_name = {row["cluster"].lower(): row for row in rows}
+        assert by_name["sim1"]["idle_consumption"] == 190.0
+        assert by_name["sim1"]["peak_consumption"] == 230.0
+        assert by_name["sim2"]["idle_consumption"] == 160.0
+        assert by_name["sim2"]["peak_consumption"] == 190.0

@@ -1,0 +1,83 @@
+"""Tests for the electricity-cost schedule."""
+
+import pytest
+
+from repro.infrastructure.electricity import (
+    OFF_PEAK_1_COST,
+    OFF_PEAK_2_COST,
+    REGULAR_COST,
+    ElectricityCostSchedule,
+    TariffPeriod,
+)
+
+
+class TestCostConstants:
+    def test_paper_cost_levels(self):
+        assert REGULAR_COST == 1.0
+        assert OFF_PEAK_1_COST == 0.8
+        assert OFF_PEAK_2_COST == 0.5
+
+
+class TestSchedule:
+    def test_constant_schedule(self):
+        schedule = ElectricityCostSchedule.constant(0.7)
+        assert schedule.cost_at(0.0) == 0.7
+        assert schedule.cost_at(1e9) == 0.7
+
+    def test_default_cost_before_first_period(self):
+        schedule = ElectricityCostSchedule(
+            [TariffPeriod(start=100.0, cost=0.5)], default_cost=1.0
+        )
+        assert schedule.cost_at(50.0) == 1.0
+        assert schedule.cost_at(100.0) == 0.5
+
+    def test_piecewise_lookup(self):
+        schedule = ElectricityCostSchedule(
+            [
+                TariffPeriod(start=100.0, cost=0.8),
+                TariffPeriod(start=200.0, cost=0.5),
+            ]
+        )
+        assert schedule.cost_at(0.0) == 1.0
+        assert schedule.cost_at(150.0) == 0.8
+        assert schedule.cost_at(250.0) == 0.5
+
+    def test_periods_sorted_even_if_added_out_of_order(self):
+        schedule = ElectricityCostSchedule()
+        schedule.add_period(TariffPeriod(start=200.0, cost=0.5))
+        schedule.add_period(TariffPeriod(start=100.0, cost=0.8))
+        assert [p.start for p in schedule.periods] == [100.0, 200.0]
+        assert schedule.cost_at(150.0) == 0.8
+
+    def test_next_change_after(self):
+        schedule = ElectricityCostSchedule(
+            [TariffPeriod(start=100.0, cost=0.8), TariffPeriod(start=200.0, cost=0.5)]
+        )
+        upcoming = schedule.next_change_after(50.0)
+        assert upcoming is not None and upcoming.start == 100.0
+        upcoming = schedule.next_change_after(100.0)
+        assert upcoming is not None and upcoming.start == 200.0
+        assert schedule.next_change_after(200.0) is None
+
+    def test_changes_between(self):
+        schedule = ElectricityCostSchedule(
+            [TariffPeriod(start=100.0, cost=0.8), TariffPeriod(start=200.0, cost=0.5)]
+        )
+        assert [p.start for p in schedule.changes_between(0.0, 150.0)] == [100.0]
+        assert [p.start for p in schedule.changes_between(100.0, 250.0)] == [200.0]
+        assert schedule.changes_between(250.0, 300.0) == ()
+
+    def test_changes_between_rejects_reversed_interval(self):
+        schedule = ElectricityCostSchedule()
+        with pytest.raises(ValueError):
+            schedule.changes_between(10.0, 5.0)
+
+    def test_cost_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TariffPeriod(start=0.0, cost=1.5)
+        with pytest.raises(ValueError):
+            ElectricityCostSchedule(default_cost=-0.1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            TariffPeriod(start=-1.0, cost=0.5)

@@ -1,0 +1,158 @@
+"""Tests for the node model and its state machine."""
+
+import pytest
+
+from repro.infrastructure.node import Node, NodeSpec, NodeState
+from tests.conftest import make_spec
+
+
+class TestNodeSpec:
+    def test_total_flops(self):
+        spec = make_spec(cores=4, flops_per_core=2.0e9)
+        assert spec.total_flops == 8.0e9
+
+    def test_default_power_model_uses_spec_figures(self):
+        spec = make_spec(idle_power=80.0, peak_power=160.0)
+        model = spec.default_power_model()
+        assert model.idle_power == 80.0
+        assert model.peak_power == 160.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            make_spec(name="")
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            make_spec(cluster="")
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            make_spec(cores=0)
+
+    def test_rejects_zero_flops(self):
+        with pytest.raises(ValueError):
+            make_spec(flops_per_core=0.0)
+
+    def test_rejects_peak_below_idle(self):
+        with pytest.raises(ValueError):
+            make_spec(idle_power=300.0, peak_power=200.0)
+
+    def test_rejects_negative_boot_time(self):
+        with pytest.raises(ValueError):
+            make_spec(boot_time=-5.0)
+
+
+class TestNodeCoreAccounting:
+    def test_initially_on_and_idle(self, node):
+        assert node.state is NodeState.ON
+        assert node.is_available
+        assert node.busy_cores == 0
+        assert node.free_cores == node.spec.cores
+        assert node.utilization == 0.0
+
+    def test_acquire_release_cycle(self, node):
+        node.acquire_core()
+        assert node.busy_cores == 1
+        assert node.free_cores == node.spec.cores - 1
+        node.release_core(busy_seconds=12.0)
+        assert node.busy_cores == 0
+        assert node.completed_tasks == 1
+        assert node.total_busy_core_seconds == 12.0
+
+    def test_utilization_scales_with_busy_cores(self, node):
+        node.acquire_core()
+        node.acquire_core()
+        assert node.utilization == pytest.approx(2 / node.spec.cores)
+
+    def test_cannot_exceed_core_count(self, node):
+        for _ in range(node.spec.cores):
+            node.acquire_core()
+        with pytest.raises(RuntimeError):
+            node.acquire_core()
+
+    def test_release_idle_node_raises(self, node):
+        with pytest.raises(RuntimeError):
+            node.release_core()
+
+    def test_release_rejects_negative_busy_seconds(self, node):
+        node.acquire_core()
+        with pytest.raises(ValueError):
+            node.release_core(busy_seconds=-1.0)
+
+    def test_cannot_acquire_on_off_node(self, spec):
+        node = Node(spec, initial_state=NodeState.OFF)
+        with pytest.raises(RuntimeError):
+            node.acquire_core()
+
+
+class TestNodeStateMachine:
+    def test_power_off_idle_node(self, node):
+        node.power_off()
+        assert node.state is NodeState.OFF
+        assert not node.is_available
+        assert node.free_cores == 0
+
+    def test_power_off_busy_node_raises(self, node):
+        node.acquire_core()
+        with pytest.raises(RuntimeError):
+            node.power_off()
+
+    def test_boot_cycle(self, spec):
+        node = Node(spec, initial_state=NodeState.OFF)
+        completion = node.begin_boot(now=100.0)
+        assert node.state is NodeState.BOOTING
+        assert completion == pytest.approx(100.0 + spec.boot_time)
+        assert node.boot_completion_time == completion
+        node.complete_boot()
+        assert node.state is NodeState.ON
+        assert node.boot_completion_time is None
+
+    def test_begin_boot_on_running_node_is_noop(self, node):
+        assert node.begin_boot(now=5.0) == 5.0
+        assert node.state is NodeState.ON
+
+    def test_begin_boot_twice_returns_same_completion(self, spec):
+        node = Node(spec, initial_state=NodeState.OFF)
+        first = node.begin_boot(now=0.0)
+        second = node.begin_boot(now=10.0)
+        assert first == second
+
+    def test_complete_boot_requires_booting_state(self, node):
+        with pytest.raises(RuntimeError):
+            node.complete_boot()
+
+
+class TestNodePower:
+    def test_off_node_draws_nothing(self, spec):
+        node = Node(spec, initial_state=NodeState.OFF)
+        assert node.current_power() == 0.0
+
+    def test_booting_node_draws_boot_power(self, spec):
+        node = Node(spec, initial_state=NodeState.OFF)
+        node.begin_boot(now=0.0)
+        assert node.current_power() == spec.boot_power
+
+    def test_idle_node_draws_idle_power(self, node, spec):
+        assert node.current_power() == spec.idle_power
+
+    def test_fully_loaded_node_draws_peak_power(self, node, spec):
+        for _ in range(spec.cores):
+            node.acquire_core()
+        assert node.current_power() == pytest.approx(spec.peak_power)
+
+    def test_partial_load_interpolates(self, node, spec):
+        node.acquire_core()
+        expected = spec.idle_power + (spec.peak_power - spec.idle_power) / spec.cores
+        assert node.current_power() == pytest.approx(expected)
+
+
+class TestTaskDuration:
+    def test_duration_is_flop_over_rate(self, node, spec):
+        assert node.task_duration(1.0e9) == pytest.approx(1.0e9 / spec.flops_per_core)
+
+    def test_zero_flop_task_is_instant(self, node):
+        assert node.task_duration(0.0) == 0.0
+
+    def test_negative_flop_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.task_duration(-1.0)

@@ -1,0 +1,65 @@
+"""Tests for the thermal environment."""
+
+import pytest
+
+from repro.infrastructure.thermal import (
+    DEFAULT_TEMPERATURE_THRESHOLD,
+    ThermalEnvironment,
+    ThermalEvent,
+)
+
+
+class TestThermalEnvironment:
+    def test_base_temperature_before_any_event(self):
+        env = ThermalEnvironment(base_temperature=20.0)
+        assert env.temperature(0.0) == 20.0
+        assert env.temperature(1e6) == 20.0
+
+    def test_event_steps_temperature(self):
+        env = ThermalEnvironment(base_temperature=20.0)
+        env.schedule_event(ThermalEvent(time=100.0, temperature=30.0))
+        assert env.temperature(99.9) == 20.0
+        assert env.temperature(100.0) == 30.0
+        assert env.temperature(500.0) == 30.0
+
+    def test_multiple_events_apply_in_order(self):
+        env = ThermalEnvironment(base_temperature=20.0)
+        env.schedule_event(ThermalEvent(time=200.0, temperature=22.0))
+        env.schedule_event(ThermalEvent(time=100.0, temperature=30.0))
+        assert env.temperature(150.0) == 30.0
+        assert env.temperature(250.0) == 22.0
+        assert [event.time for event in env.events] == [100.0, 200.0]
+
+    def test_clear_events(self):
+        env = ThermalEnvironment(base_temperature=21.0)
+        env.schedule_event(ThermalEvent(time=10.0, temperature=40.0))
+        env.clear_events()
+        assert env.temperature(20.0) == 21.0
+        assert env.events == ()
+
+    def test_default_threshold_matches_paper(self):
+        env = ThermalEnvironment()
+        assert env.threshold == DEFAULT_TEMPERATURE_THRESHOLD == 25.0
+
+    def test_in_range_checks_threshold(self):
+        env = ThermalEnvironment(base_temperature=24.0, threshold=25.0)
+        assert env.in_range(0.0)
+        env.schedule_event(ThermalEvent(time=10.0, temperature=26.0))
+        assert not env.in_range(10.0)
+
+    def test_load_coupling_adds_heat(self):
+        env = ThermalEnvironment(base_temperature=20.0, load_coefficient=2.0)
+        assert env.temperature(0.0, platform_power_watts=1500.0) == pytest.approx(23.0)
+
+    def test_load_coupling_disabled_by_default(self):
+        env = ThermalEnvironment(base_temperature=20.0)
+        assert env.temperature(0.0, platform_power_watts=5000.0) == 20.0
+
+    def test_negative_power_rejected(self):
+        env = ThermalEnvironment()
+        with pytest.raises(ValueError):
+            env.temperature(0.0, platform_power_watts=-1.0)
+
+    def test_event_with_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalEvent(time=-1.0, temperature=20.0)

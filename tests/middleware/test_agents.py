@@ -1,0 +1,165 @@
+"""Tests for the agent hierarchy."""
+
+import pytest
+
+from repro.core.policies import PerformancePolicy, PowerPolicy
+from repro.infrastructure.node import Node, NodeState
+from repro.middleware.agents import LocalAgent, MasterAgent, build_flat_hierarchy
+from repro.middleware.plugin_scheduler import FirstComeFirstServedScheduler
+from repro.middleware.requests import ServiceRequest
+from repro.middleware.sed import ServerDaemon
+from repro.simulation.task import Task
+from tests.conftest import make_spec
+
+
+def make_sed(name, cluster="c", *, peak_power=200.0, flops=2.0e9, state=NodeState.ON):
+    node = Node(
+        make_spec(name=name, cluster=cluster, peak_power=peak_power, idle_power=90.0,
+                  flops_per_core=flops),
+        initial_state=state,
+    )
+    return ServerDaemon(node)
+
+
+def make_request(service="cpu-burn"):
+    return ServiceRequest.from_task(Task(service=service))
+
+
+class TestTopology:
+    def test_add_agent_and_sed(self):
+        master = MasterAgent()
+        local = LocalAgent("la-0")
+        master.add_agent(local)
+        sed = make_sed("n-0")
+        local.add_sed(sed)
+        assert master.child_agents == (local,)
+        assert local.seds == (sed,)
+        assert master.all_seds() == (sed,)
+
+    def test_agent_cannot_be_its_own_child(self):
+        master = MasterAgent()
+        with pytest.raises(ValueError):
+            master.add_agent(master)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            LocalAgent("")
+
+    def test_set_scheduler_recursive(self):
+        master = MasterAgent()
+        local = LocalAgent("la-0")
+        master.add_agent(local)
+        policy = PowerPolicy()
+        master.set_scheduler(policy)
+        assert master.scheduler is policy
+        assert local.scheduler is policy
+
+    def test_set_scheduler_non_recursive(self):
+        master = MasterAgent()
+        local = LocalAgent("la-0")
+        master.add_agent(local)
+        default = local.scheduler
+        master.set_scheduler(PowerPolicy(), recursive=False)
+        assert local.scheduler is default
+
+    def test_find_sed(self):
+        master = MasterAgent()
+        local = LocalAgent("la-0")
+        master.add_agent(local)
+        sed = make_sed("n-0")
+        local.add_sed(sed)
+        assert master.find_sed("n-0") is sed
+        with pytest.raises(KeyError):
+            master.find_sed("missing")
+
+
+class TestCandidateCollection:
+    def test_collects_only_matching_service(self):
+        master = build_flat_hierarchy([make_sed("n-0"), make_sed("n-1")])
+        outcome = master.submit(make_request(service="unknown-service"))
+        assert not outcome.succeeded
+        assert outcome.elected is None
+
+    def test_collects_only_available_nodes(self):
+        on_sed = make_sed("n-on")
+        off_sed = make_sed("n-off", state=NodeState.OFF)
+        master = build_flat_hierarchy([on_sed, off_sed])
+        outcome = master.submit(make_request())
+        assert outcome.candidate_names == ("n-on",)
+
+    def test_election_returns_first_of_ranking(self):
+        cheap = make_sed("cheap", peak_power=100.0)
+        hungry = make_sed("hungry", peak_power=400.0)
+        master = build_flat_hierarchy([hungry, cheap], scheduler=PowerPolicy())
+        outcome = master.submit(make_request())
+        assert outcome.elected == "cheap"
+        assert outcome.succeeded
+
+    def test_hierarchical_sorting_matches_flat(self):
+        """A two-level hierarchy must elect the same SeD as a flat one."""
+        seds = [
+            make_sed("a-0", cluster="a", peak_power=300.0),
+            make_sed("a-1", cluster="a", peak_power=150.0),
+            make_sed("b-0", cluster="b", peak_power=100.0),
+            make_sed("b-1", cluster="b", peak_power=250.0),
+        ]
+        flat = build_flat_hierarchy(seds, scheduler=PowerPolicy())
+
+        hierarchical = MasterAgent(scheduler=PowerPolicy())
+        cluster_a = LocalAgent("la-a", scheduler=PowerPolicy())
+        cluster_b = LocalAgent("la-b", scheduler=PowerPolicy())
+        hierarchical.add_agent(cluster_a)
+        hierarchical.add_agent(cluster_b)
+        cluster_a.add_sed(seds[0])
+        cluster_a.add_sed(seds[1])
+        cluster_b.add_sed(seds[2])
+        cluster_b.add_sed(seds[3])
+
+        flat_outcome = flat.submit(make_request())
+        tree_outcome = hierarchical.submit(make_request())
+        assert flat_outcome.elected == tree_outcome.elected == "b-0"
+        assert flat_outcome.candidate_names == tree_outcome.candidate_names
+
+    def test_performance_policy_elects_fastest(self):
+        slow = make_sed("slow", flops=1.0e9)
+        fast = make_sed("fast", flops=3.0e9)
+        master = build_flat_hierarchy([slow, fast], scheduler=PerformancePolicy())
+        assert master.submit(make_request()).elected == "fast"
+
+    def test_default_scheduler_preserves_collection_order(self):
+        master = build_flat_hierarchy(
+            [make_sed("first"), make_sed("second")],
+            scheduler=FirstComeFirstServedScheduler(),
+        )
+        outcome = master.submit(make_request())
+        assert outcome.candidate_names == ("first", "second")
+
+    def test_ranked_candidates_expose_estimations(self):
+        master = build_flat_hierarchy([make_sed("n-0")])
+        outcome = master.submit(make_request())
+        assert outcome.ranked_candidates[0].server == "n-0"
+        assert outcome.ranked_candidates[0].peak_power == 200.0
+
+
+class TestCandidateFilter:
+    def test_filter_restricts_election(self):
+        cheap = make_sed("cheap", peak_power=100.0)
+        hungry = make_sed("hungry", peak_power=400.0)
+        master = build_flat_hierarchy([cheap, hungry], scheduler=PowerPolicy())
+        master.set_candidate_filter(
+            lambda request, candidates: [c for c in candidates if c.server == "hungry"]
+        )
+        assert master.submit(make_request()).elected == "hungry"
+
+    def test_filter_returning_empty_falls_back_to_no_candidates(self):
+        master = build_flat_hierarchy([make_sed("n-0")])
+        master.set_candidate_filter(lambda request, candidates: [])
+        outcome = master.submit(make_request())
+        # An empty filtered list means no server may be elected.
+        assert not outcome.succeeded
+
+    def test_filter_can_be_cleared(self):
+        master = build_flat_hierarchy([make_sed("n-0")])
+        master.set_candidate_filter(lambda request, candidates: [])
+        master.set_candidate_filter(None)
+        assert master.submit(make_request()).succeeded

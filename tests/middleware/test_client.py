@@ -1,0 +1,72 @@
+"""Tests for the client API."""
+
+import pytest
+
+from repro.middleware.agents import build_flat_hierarchy
+from repro.middleware.client import Client
+from repro.middleware.sed import ServerDaemon
+from repro.infrastructure.node import Node
+from repro.simulation.task import Task
+from tests.conftest import make_spec
+
+
+def make_master(*names):
+    seds = [ServerDaemon(Node(make_spec(name=name))) for name in names]
+    return build_flat_hierarchy(seds)
+
+
+class TestRequestConstruction:
+    def test_request_inherits_task_preference(self):
+        client = Client(make_master("n-0"))
+        request = client.make_request(Task(user_preference=0.7))
+        assert request.user_preference == 0.7
+
+    def test_zero_task_preference_falls_back_to_client_default(self):
+        client = Client(make_master("n-0"), default_preference=-0.5)
+        request = client.make_request(Task(user_preference=0.0))
+        assert request.user_preference == -0.5
+
+    def test_explicit_override_wins(self):
+        client = Client(make_master("n-0"), default_preference=-0.5)
+        request = client.make_request(Task(user_preference=0.3), user_preference=0.9)
+        assert request.user_preference == 0.9
+
+    def test_submission_time_defaults_to_arrival(self):
+        client = Client(make_master("n-0"))
+        request = client.make_request(Task(arrival_time=12.0))
+        assert request.submitted_at == 12.0
+
+    def test_out_of_range_override_rejected(self):
+        client = Client(make_master("n-0"))
+        with pytest.raises(ValueError):
+            client.make_request(Task(), user_preference=2.0)
+
+    def test_invalid_default_preference_rejected(self):
+        with pytest.raises(ValueError):
+            Client(make_master("n-0"), default_preference=1.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Client(make_master("n-0"), name="")
+
+
+class TestSubmission:
+    def test_submit_records_outcome(self):
+        client = Client(make_master("n-0"))
+        outcome = client.submit(Task())
+        assert outcome.succeeded
+        assert client.submitted_count == 1
+        assert client.rejected_count == 0
+        assert client.outcomes == (outcome,)
+
+    def test_rejection_counted(self):
+        client = Client(make_master("n-0"))
+        outcome = client.submit(Task(service="unsupported"))
+        assert not outcome.succeeded
+        assert client.rejected_count == 1
+
+    def test_multiple_submissions(self):
+        client = Client(make_master("n-0", "n-1"))
+        for _ in range(5):
+            client.submit(Task())
+        assert client.submitted_count == 5

@@ -1,0 +1,91 @@
+"""Tests for estimation vectors."""
+
+import math
+
+import pytest
+
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from tests.conftest import make_vector
+
+
+class TestEstimationVector:
+    def test_set_and_get(self):
+        vector = EstimationVector(server="n-0", cluster="c")
+        vector.set(EstimationTags.MEAN_POWER, 150.0)
+        assert vector.get(EstimationTags.MEAN_POWER) == 150.0
+        assert EstimationTags.MEAN_POWER in vector
+
+    def test_get_missing_without_default_raises(self):
+        vector = EstimationVector(server="n-0", cluster="c")
+        with pytest.raises(KeyError):
+            vector.get("missing")
+
+    def test_get_missing_with_default(self):
+        vector = EstimationVector(server="n-0", cluster="c")
+        assert vector.get("missing", 7.0) == 7.0
+
+    def test_rejects_empty_server(self):
+        with pytest.raises(ValueError):
+            EstimationVector(server="", cluster="c")
+
+    def test_rejects_non_finite_values(self):
+        vector = EstimationVector(server="n-0", cluster="c")
+        with pytest.raises(ValueError):
+            vector.set("x", math.nan)
+        with pytest.raises(ValueError):
+            vector.set("x", math.inf)
+
+    def test_rejects_empty_tag(self):
+        vector = EstimationVector(server="n-0", cluster="c")
+        with pytest.raises(ValueError):
+            vector.set("", 1.0)
+
+    def test_constructor_validates_initial_values(self):
+        with pytest.raises(ValueError):
+            EstimationVector(server="n-0", cluster="c", values={"x": math.inf})
+
+    def test_as_dict_returns_copy(self):
+        vector = make_vector()
+        snapshot = vector.as_dict()
+        vector.set("extra", 1.0)
+        assert "extra" not in snapshot
+
+    def test_iteration_over_tags(self):
+        vector = make_vector()
+        assert EstimationTags.MEAN_POWER in set(vector)
+
+
+class TestRequiredTags:
+    def test_complete_vector_validates(self):
+        make_vector().validate_required()
+
+    def test_missing_tag_detected(self):
+        vector = make_vector()
+        del vector.values[EstimationTags.MEAN_POWER]
+        with pytest.raises(ValueError, match="mean_power"):
+            vector.validate_required()
+
+    def test_required_list_contains_power_and_performance(self):
+        assert EstimationTags.MEAN_POWER in EstimationTags.REQUIRED
+        assert EstimationTags.FLOPS_PER_CORE in EstimationTags.REQUIRED
+
+
+class TestConvenienceAccessors:
+    def test_accessors_read_tags(self):
+        vector = make_vector(
+            flops_per_core=3.0e9, mean_power=120.0, peak_power=240.0,
+            waiting_time=4.0, free_cores=2,
+        )
+        assert vector.flops_per_core == 3.0e9
+        assert vector.mean_power == 120.0
+        assert vector.peak_power == 240.0
+        assert vector.waiting_time == 4.0
+        assert vector.free_cores == 2
+
+    def test_available_flag(self):
+        assert make_vector(available=True).available
+        assert not make_vector(available=False).available
+
+    def test_available_defaults_false_when_missing(self):
+        vector = EstimationVector(server="n-0", cluster="c")
+        assert not vector.available

@@ -1,0 +1,128 @@
+"""Tests for the Server Daemon."""
+
+import pytest
+
+from repro.infrastructure.node import Node, NodeState
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.middleware.requests import ServiceRequest
+from repro.middleware.sed import ServerDaemon, default_estimation_function
+from repro.simulation.queueing import NodeQueue
+from repro.simulation.task import Task
+from tests.conftest import make_spec
+
+
+def make_sed(**spec_overrides):
+    node = Node(make_spec(**spec_overrides))
+    return ServerDaemon(node)
+
+
+def make_request(service="cpu-burn", preference=0.0):
+    task = Task(service=service, user_preference=preference)
+    return ServiceRequest.from_task(task)
+
+
+class TestConstruction:
+    def test_name_and_cluster_come_from_node(self):
+        sed = make_sed(name="taurus-3", cluster="taurus")
+        assert sed.name == "taurus-3"
+        assert sed.cluster == "taurus"
+
+    def test_default_service(self):
+        sed = make_sed()
+        assert sed.can_solve("cpu-burn")
+        assert not sed.can_solve("matmul")
+
+    def test_custom_services(self):
+        node = Node(make_spec())
+        sed = ServerDaemon(node, services=("a", "b"))
+        assert sed.can_solve("a") and sed.can_solve("b")
+
+    def test_requires_at_least_one_service(self):
+        node = Node(make_spec())
+        with pytest.raises(ValueError):
+            ServerDaemon(node, services=())
+
+    def test_rejects_queue_bound_to_other_node(self):
+        node = Node(make_spec(name="a-0"))
+        other = Node(make_spec(name="b-0"))
+        with pytest.raises(ValueError):
+            ServerDaemon(node, queue=NodeQueue(other))
+
+    def test_shares_supplied_queue(self):
+        node = Node(make_spec())
+        queue = NodeQueue(node)
+        sed = ServerDaemon(node, queue=queue)
+        assert sed.queue is queue
+
+
+class TestDynamicPowerEstimate:
+    def test_falls_back_to_peak_power_before_history(self):
+        sed = make_sed(peak_power=321.0)
+        assert sed.observed_request_count == 0
+        assert sed.dynamic_mean_power() == 321.0
+
+    def test_averages_past_request_power(self):
+        sed = make_sed()
+        sed.record_request_power(100.0, 1000.0)
+        sed.record_request_power(200.0, 3000.0)
+        assert sed.observed_request_count == 2
+        assert sed.dynamic_mean_power() == pytest.approx(150.0)
+        assert sed.mean_energy_per_request() == pytest.approx(2000.0)
+
+    def test_mean_energy_zero_before_history(self):
+        assert make_sed().mean_energy_per_request() == 0.0
+
+
+class TestEstimation:
+    def test_default_estimation_fills_required_tags(self):
+        sed = make_sed()
+        vector = sed.estimate(make_request())
+        vector.validate_required()
+        assert vector.server == sed.name
+        assert vector.get(EstimationTags.TOTAL_CORES) == sed.node.spec.cores
+
+    def test_estimation_reflects_node_state(self):
+        node = Node(make_spec(), initial_state=NodeState.OFF)
+        sed = ServerDaemon(node)
+        vector = sed.estimate(make_request())
+        assert not vector.available
+        assert vector.get(EstimationTags.FREE_CORES) == 0.0
+
+    def test_estimation_reflects_busy_cores(self):
+        sed = make_sed(cores=2)
+        sed.node.acquire_core()
+        vector = sed.estimate(make_request())
+        assert vector.get(EstimationTags.FREE_CORES) == 1.0
+
+    def test_estimation_uses_dynamic_power(self):
+        sed = make_sed(peak_power=400.0)
+        sed.record_request_power(111.0, 500.0)
+        vector = sed.estimate(make_request())
+        assert vector.get(EstimationTags.MEAN_POWER) == pytest.approx(111.0)
+
+    def test_custom_estimation_function(self):
+        sed = make_sed()
+
+        def custom(sed_arg, request):
+            vector = default_estimation_function(sed_arg, request)
+            vector.set("custom_tag", 42.0)
+            return vector
+
+        sed.set_estimation_function(custom)
+        vector = sed.estimate(make_request())
+        assert vector.get("custom_tag") == 42.0
+
+    def test_custom_estimation_missing_required_tags_rejected(self):
+        sed = make_sed()
+        sed.set_estimation_function(
+            lambda s, r: EstimationVector(server=s.name, cluster=s.cluster)
+        )
+        with pytest.raises(ValueError):
+            sed.estimate(make_request())
+
+    def test_completed_tasks_tag_tracks_node(self):
+        sed = make_sed()
+        sed.node.acquire_core()
+        sed.node.release_core(busy_seconds=1.0)
+        vector = sed.estimate(make_request())
+        assert vector.get(EstimationTags.COMPLETED_TASKS) == 1.0

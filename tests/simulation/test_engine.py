@@ -1,0 +1,166 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulation.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_initial_clock(self):
+        engine = SimulationEngine()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.processed_events == 0
+
+    def test_custom_start_time(self):
+        engine = SimulationEngine(start_time=50.0)
+        assert engine.now == 50.0
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("late"))
+        engine.schedule(1.0, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+        assert engine.now == 5.0
+
+    def test_same_time_fifo_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for index in range(5):
+            engine.schedule(1.0, lambda i=index: fired.append(i))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("low"), priority=5)
+        engine.schedule(1.0, lambda: fired.append("high"), priority=-5)
+        engine.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_in_relative_delay(self):
+        engine = SimulationEngine(start_time=10.0)
+        times = []
+        engine.schedule_in(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [15.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule(5.0, lambda: None)
+
+    def test_cannot_schedule_at_infinity(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(float("inf"), lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda: None)
+
+
+class TestExecution:
+    def test_step_fires_one_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.0, lambda: fired.append(2))
+        assert engine.step()
+        assert fired == [1]
+        assert engine.now == 1.0
+
+    def test_step_on_empty_queue_returns_false(self):
+        engine = SimulationEngine()
+        assert not engine.step()
+
+    def test_run_until_stops_clock_at_bound(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        # The later event remains pending and can still fire.
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        engine = SimulationEngine()
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_max_events_limits_execution(self):
+        engine = SimulationEngine()
+        fired = []
+        for index in range(10):
+            engine.schedule(float(index), lambda i=index: fired.append(i))
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(depth):
+            fired.append(engine.now)
+            if depth > 0:
+                engine.schedule_in(1.0, lambda: chain(depth - 1))
+
+        engine.schedule(0.0, lambda: chain(3))
+        engine.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_processed_event_counter(self):
+        engine = SimulationEngine()
+        for index in range(4):
+            engine.schedule(float(index), lambda: None)
+        engine.run()
+        assert engine.processed_events == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        handle.cancel()
+        engine.run()
+        assert fired == ["kept"]
+        assert handle.cancelled
+
+    def test_peek_next_time_skips_cancelled(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(3.0, lambda: None)
+        handle.cancel()
+        assert engine.peek_next_time() == 3.0
+
+    def test_peek_next_time_empty(self):
+        engine = SimulationEngine()
+        assert engine.peek_next_time() is None
+
+    def test_handle_exposes_time_and_label(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(7.0, lambda: None, label="hello")
+        assert handle.time == 7.0
+        assert handle.label == "hello"
+
+
+class TestClockMonotonicity:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_clock_never_goes_backwards(self, times):
+        engine = SimulationEngine()
+        observed = []
+        for time in times:
+            engine.schedule(time, lambda: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--quick"])
+        assert args.command == "table2"
+        assert args.quick
+
+    def test_command_is_required(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["nope"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Orion" in out and "Taurus" in out and "Sagittaire" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Sim1" in out and "Sim2" in out
+        assert "190" in out and "230" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Makespan (s)" in out
+        assert "POWER saves" in out
+
+    @pytest.mark.parametrize(
+        "command,expected",
+        [
+            (["fig2", "--quick"], "POWER"),
+            (["fig3", "--quick"], "PERFORMANCE"),
+            (["fig4", "--quick"], "RANDOM"),
+        ],
+    )
+    def test_distribution_figures_quick(self, capsys, command, expected):
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert expected in out
+        assert "tasks per node" in out
+
+    def test_fig5_quick(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "energy per cluster" in out
+        assert "taurus" in out
+
+    def test_fig6_quick(self, capsys):
+        assert main(["fig6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "2 server types" in out
+        assert "GREENPERF" in out
+
+    def test_fig7_quick(self, capsys):
+        assert main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "4 server types" in out
+
+    def test_fig9_quick(self, capsys):
+        assert main(["fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Injected events" in out

@@ -1,0 +1,146 @@
+"""Cross-module property-based tests.
+
+These properties tie several subsystems together: whatever workload
+hypothesis generates and whichever policy schedules it, the simulation
+must conserve work, keep energy within physical bounds, respect core
+limits and stay deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.greenperf import GreenPerfRanking
+from repro.core.candidate_selection import select_candidate_servers
+from repro.core.policies import policy_by_name
+from repro.core.scoring import score
+from repro.infrastructure.platform import grid5000_placement_platform
+from repro.middleware.driver import MiddlewareSimulation
+from repro.middleware.hierarchy import build_hierarchy
+from repro.simulation.task import Task
+from tests.conftest import make_vector
+
+# Small but non-trivial workloads keep each hypothesis example fast.
+workload_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=1e9, max_value=1e11),   # flop
+        st.floats(min_value=0.0, max_value=120.0),  # arrival time
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+policy_strategy = st.sampled_from(["POWER", "PERFORMANCE", "GREENPERF", "GREEN_SCORE", "RANDOM"])
+
+
+def _run(policy_name, rows):
+    platform = grid5000_placement_platform(nodes_per_cluster=1)
+    kwargs = {"seed": 0} if policy_name == "RANDOM" else {}
+    master, seds = build_hierarchy(platform, scheduler=policy_by_name(policy_name, **kwargs))
+    simulation = MiddlewareSimulation(platform, master, seds, sample_period=10.0)
+    tasks = [Task(flop=flop, arrival_time=arrival) for flop, arrival in rows]
+    simulation.submit_workload(tasks)
+    result = simulation.run()
+    return platform, simulation, result
+
+
+class TestSimulationProperties:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=workload_strategy, policy_name=policy_strategy)
+    def test_work_conservation_under_any_workload(self, rows, policy_name):
+        """Every submitted task completes exactly once, none is lost."""
+        _, simulation, result = _run(policy_name, rows)
+        assert result.metrics.task_count == len(rows)
+        task_ids = [e.task_id for e in simulation.metrics.executions]
+        assert len(task_ids) == len(set(task_ids))
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=workload_strategy, policy_name=policy_strategy)
+    def test_energy_within_physical_bounds(self, rows, policy_name):
+        """Wattmeter energy lies between the idle floor and the peak ceiling."""
+        platform, simulation, result = _run(policy_name, rows)
+        samples_per_node = len(simulation.wattmeter.log.samples) / len(platform)
+        period = simulation.wattmeter.sample_period
+        idle_floor = sum(node.spec.idle_power for node in platform.nodes)
+        peak_ceiling = sum(node.spec.peak_power for node in platform.nodes)
+        assert result.total_energy >= idle_floor * (samples_per_node - 1) * period * 0.99
+        assert result.total_energy <= peak_ceiling * (samples_per_node + 1) * period
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=workload_strategy, policy_name=policy_strategy)
+    def test_execution_times_are_consistent(self, rows, policy_name):
+        """Start >= submission, completion > start, duration matches the node."""
+        platform, simulation, _ = _run(policy_name, rows)
+        for execution in simulation.metrics.executions:
+            assert execution.started_at >= execution.submitted_at
+            assert execution.completed_at > execution.started_at
+            node = platform.node(execution.node)
+            flops = node.spec.flops_per_core
+            # The duration is exactly flop / flops of the executing node.
+            matching = [r for r in rows if abs(r[0] / flops - execution.duration) < 1e-6]
+            assert matching, "execution duration must match some submitted task on this node"
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=workload_strategy)
+    def test_deterministic_policies_are_reproducible(self, rows):
+        _, _, first = _run("GREENPERF", rows)
+        _, _, second = _run("GREENPERF", rows)
+        assert first.metrics.makespan == second.metrics.makespan
+        assert first.metrics.tasks_per_node == second.metrics.tasks_per_node
+        assert first.metrics.total_energy == second.metrics.total_energy
+
+
+class TestCoreProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        powers=st.lists(st.floats(min_value=10, max_value=1000), min_size=1, max_size=25),
+        flops=st.lists(st.floats(min_value=1e8, max_value=1e12), min_size=1, max_size=25),
+        preference=st.floats(min_value=0, max_value=1),
+    )
+    def test_algorithm1_selection_is_a_greenperf_prefix(self, powers, flops, preference):
+        """Algorithm 1 always returns a prefix of the GreenPerf ranking."""
+        size = min(len(powers), len(flops))
+        vectors = [
+            make_vector(server=f"n-{i}", mean_power=powers[i], flops_per_core=flops[i], cores=1)
+            for i in range(size)
+        ]
+        ranking = GreenPerfRanking(vectors)
+        selected = select_candidate_servers(ranking, preference)
+        assert [entry.server for entry in selected] == list(
+            ranking.server_names[: len(selected)]
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        time_fast=st.floats(min_value=0.1, max_value=1e3),
+        slowdown=st.floats(min_value=1.01, max_value=100.0),
+        energy=st.floats(min_value=0.1, max_value=1e6),
+        preference=st.floats(min_value=-1, max_value=1),
+    )
+    def test_score_prefers_faster_server_at_equal_energy(
+        self, time_fast, slowdown, energy, preference
+    ):
+        """At equal energy, a faster server never scores worse (Eq. 6)."""
+        fast = score(time_fast, energy, preference)
+        slow = score(time_fast * slowdown, energy, preference)
+        assert fast <= slow + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        powers=st.lists(st.floats(min_value=10, max_value=1000), min_size=2, max_size=20),
+        preference_low=st.floats(min_value=0, max_value=1),
+        preference_high=st.floats(min_value=0, max_value=1),
+    )
+    def test_algorithm1_is_monotone_in_the_budget(
+        self, powers, preference_low, preference_high
+    ):
+        """A larger provider preference never selects fewer servers."""
+        low, high = sorted((preference_low, preference_high))
+        vectors = [
+            make_vector(server=f"n-{i}", mean_power=power) for i, power in enumerate(powers)
+        ]
+        ranking = GreenPerfRanking(vectors)
+        assert len(select_candidate_servers(ranking, low)) <= len(
+            select_candidate_servers(ranking, high)
+        )

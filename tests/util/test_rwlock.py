@@ -1,0 +1,140 @@
+"""Tests for the readers–writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.rwlock import ReadersWriterLock
+
+
+class TestBasicSemantics:
+    def test_initially_unlocked(self):
+        lock = ReadersWriterLock()
+        assert lock.active_readers == 0
+        assert not lock.writer_active
+
+    def test_acquire_release_read(self):
+        lock = ReadersWriterLock()
+        assert lock.acquire_read()
+        assert lock.active_readers == 1
+        lock.release_read()
+        assert lock.active_readers == 0
+
+    def test_multiple_readers_allowed(self):
+        lock = ReadersWriterLock()
+        assert lock.acquire_read()
+        assert lock.acquire_read()
+        assert lock.active_readers == 2
+        lock.release_read()
+        lock.release_read()
+
+    def test_acquire_release_write(self):
+        lock = ReadersWriterLock()
+        assert lock.acquire_write()
+        assert lock.writer_active
+        lock.release_write()
+        assert not lock.writer_active
+
+    def test_release_read_without_acquire_raises(self):
+        lock = ReadersWriterLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+
+    def test_release_write_without_acquire_raises(self):
+        lock = ReadersWriterLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_writer_blocks_while_reader_holds(self):
+        lock = ReadersWriterLock()
+        lock.acquire_read()
+        assert not lock.acquire_write(timeout=0.05)
+        lock.release_read()
+        assert lock.acquire_write(timeout=0.5)
+        lock.release_write()
+
+    def test_reader_blocks_while_writer_holds(self):
+        lock = ReadersWriterLock()
+        lock.acquire_write()
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_write()
+        assert lock.acquire_read(timeout=0.5)
+        lock.release_read()
+
+
+class TestContextManagers:
+    def test_read_locked(self):
+        lock = ReadersWriterLock()
+        with lock.read_locked():
+            assert lock.active_readers == 1
+        assert lock.active_readers == 0
+
+    def test_write_locked(self):
+        lock = ReadersWriterLock()
+        with lock.write_locked():
+            assert lock.writer_active
+        assert not lock.writer_active
+
+    def test_read_locked_releases_on_exception(self):
+        lock = ReadersWriterLock()
+        with pytest.raises(RuntimeError, match="boom"):
+            with lock.read_locked():
+                raise RuntimeError("boom")
+        assert lock.active_readers == 0
+
+    def test_write_locked_releases_on_exception(self):
+        lock = ReadersWriterLock()
+        with pytest.raises(RuntimeError, match="boom"):
+            with lock.write_locked():
+                raise RuntimeError("boom")
+        assert not lock.writer_active
+
+
+class TestConcurrency:
+    def test_writer_gets_exclusive_access_under_contention(self):
+        lock = ReadersWriterLock()
+        shared = {"value": 0, "max_writers": 0}
+        errors = []
+
+        def writer():
+            for _ in range(50):
+                with lock.write_locked():
+                    before = shared["value"]
+                    shared["value"] = before + 1
+                    if lock.active_readers:
+                        errors.append("reader active during write")
+
+        def reader():
+            for _ in range(50):
+                with lock.read_locked():
+                    if lock.writer_active:
+                        errors.append("writer active during read")
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert shared["value"] == 150
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadersWriterLock()
+        lock.acquire_read()
+        writer_acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            writer_acquired.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        # A waiting writer makes new read acquisitions fail quickly.
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_read()
+        thread.join(timeout=1.0)
+        assert writer_acquired.is_set()

@@ -1,0 +1,105 @@
+"""Tests for running statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, WindowedAverage
+
+
+class TestRunningStats:
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert math.isnan(stats.minimum)
+        assert math.isnan(stats.maximum)
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.count == 1
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    def test_mean_of_known_sequence(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.total == pytest.approx(10.0)
+
+    def test_variance_matches_numpy(self):
+        values = [3.2, 1.1, 7.8, 2.2, 9.9, 5.5]
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.variance == pytest.approx(np.var(values))
+        assert stats.std == pytest.approx(np.std(values))
+
+    def test_min_max_tracking(self):
+        stats = RunningStats()
+        stats.extend([5.0, -2.0, 7.0, 0.0])
+        assert stats.minimum == -2.0
+        assert stats.maximum == 7.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_mean_matches_numpy_property(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=2, max_size=100))
+    def test_variance_is_non_negative(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.variance >= -1e-9
+
+
+class TestWindowedAverage:
+    def test_empty_average_is_zero(self):
+        window = WindowedAverage(window=10)
+        assert window.value == 0.0
+        assert window.count == 0
+
+    def test_average_below_window(self):
+        window = WindowedAverage(window=10)
+        for value in (1.0, 2.0, 3.0):
+            window.add(value)
+        assert window.value == pytest.approx(2.0)
+        assert window.count == 3
+
+    def test_eviction_beyond_window(self):
+        window = WindowedAverage(window=3)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            window.add(value)
+        # Oldest value (1.0) evicted: average of (2, 3, 10).
+        assert window.count == 3
+        assert window.value == pytest.approx(5.0)
+
+    def test_clear(self):
+        window = WindowedAverage(window=3)
+        window.add(4.0)
+        window.clear()
+        assert window.count == 0
+        assert window.value == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedAverage(window=0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_windowed_average_matches_tail_mean(self, values, window_size):
+        window = WindowedAverage(window=window_size)
+        for value in values:
+            window.add(value)
+        tail = values[-window_size:]
+        assert window.value == pytest.approx(float(np.mean(tail)), rel=1e-9, abs=1e-9)
+        assert window.count == min(len(values), window_size)

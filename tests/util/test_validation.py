@@ -1,0 +1,89 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+
+class TestEnsurePositive:
+    def test_accepts_positive_float(self):
+        assert ensure_positive(1.5, "x") == 1.5
+
+    def test_accepts_positive_int_and_returns_float(self):
+        result = ensure_positive(3, "x")
+        assert result == 3.0
+        assert isinstance(result, float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            ensure_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            ensure_positive(-2.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_positive(math.nan, "x")
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_positive(math.inf, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            ensure_positive("5", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_positive(True, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="wattage"):
+            ensure_positive(-1, "wattage")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert ensure_non_negative(7.0, "x") == 7.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            ensure_non_negative(-0.001, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(math.nan, "x")
+
+
+class TestEnsureInRange:
+    def test_accepts_interior_value(self):
+        assert ensure_in_range(0.5, "x", 0.0, 1.0) == 0.5
+
+    def test_accepts_bounds_when_inclusive(self):
+        assert ensure_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert ensure_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_bounds_when_exclusive(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            ensure_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, "x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ensure_in_range(-0.5, "x", 0.0, 1.0)
+
+    def test_negative_range(self):
+        assert ensure_in_range(-0.5, "x", -1.0, 0.0) == -0.5
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(math.nan, "x", 0.0, 1.0)

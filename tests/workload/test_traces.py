@@ -1,0 +1,51 @@
+"""Tests for workload trace persistence."""
+
+import pytest
+
+from repro.simulation.task import Task
+from repro.workload.generator import BurstThenContinuousWorkload
+from repro.workload.traces import TraceWorkload, load_trace, save_trace
+
+
+class TestTraceRoundTrip:
+    def test_save_and_load_preserves_fields(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        tasks = [
+            Task(flop=1e8, arrival_time=0.0, client="c-0", user_preference=0.5),
+            Task(flop=2e8, arrival_time=1.5, client="c-1", service="other"),
+        ]
+        save_trace(path, tasks)
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert loaded[0].flop == 1e8
+        assert loaded[0].user_preference == 0.5
+        assert loaded[1].client == "c-1"
+        assert loaded[1].service == "other"
+        assert loaded[1].arrival_time == 1.5
+
+    def test_load_sorts_by_arrival(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        tasks = [Task(arrival_time=5.0), Task(arrival_time=1.0)]
+        save_trace(path, tasks)
+        loaded = load_trace(path)
+        assert [task.arrival_time for task in loaded] == [1.0, 5.0]
+
+    def test_generator_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = BurstThenContinuousWorkload(total_tasks=12, burst_size=4).generate()
+        save_trace(path, original)
+        workload = TraceWorkload.from_file(path)
+        replayed = workload.generate()
+        assert [t.arrival_time for t in replayed] == [t.arrival_time for t in original]
+        assert [t.flop for t in replayed] == [t.flop for t in original]
+
+    def test_load_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("arrival_time,flop\n0.0,1e8\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_trace(path)
+
+    def test_trace_workload_sorts_tasks(self):
+        tasks = [Task(arrival_time=3.0), Task(arrival_time=1.0)]
+        workload = TraceWorkload(tasks=tasks)
+        assert [t.arrival_time for t in workload.generate()] == [1.0, 3.0]
