@@ -1,85 +1,27 @@
 #!/usr/bin/env python3
-"""Compare the paper's three scheduling policies on the placement workload.
+"""Multi-policy placement sweep driven by ``repro.runner`` (Table II, Figures 2-4).
 
-Reproduces the experiment behind Table II and Figures 2–5 (at a reduced
-scale by default; pass ``--full`` to run the paper-scale configuration —
-12 nodes, 10 requests per core):
-
-* RANDOM        — servers picked at random,
-* POWER         — priority to the lowest-power servers,
-* PERFORMANCE   — priority to the fastest servers,
-
-and prints the makespan/energy table, the per-cluster task distribution
-of each policy, and the per-cluster energy breakdown.
-
-Run with::
-
-    python examples/policy_comparison.py [--full]
+Declares the three-policy grid as a ``SweepSpec``, executes it through the
+sweep runner, and prints the comparison table plus per-node distributions —
+at quick scale (for the paper-scale grid, use ``repro sweep --grid table2``).
 """
 
-from __future__ import annotations
-
-import argparse
-
-from repro.experiments.placement import run_policy_comparison
-from repro.experiments.presets import PlacementExperimentConfig
-from repro.experiments.reporting import (
-    format_energy_per_cluster,
-    format_table2,
-    format_task_distribution,
-)
+from repro.experiments.presets import placement_sweep
+from repro.experiments.reporting import format_task_distribution
+from repro.runner import format_sweep_summary, run_sweep
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="run the paper-scale configuration (12 nodes, 10 requests/core)",
-    )
-    args = parser.parse_args()
-
-    if args.full:
-        config = PlacementExperimentConfig()
-    else:
-        config = PlacementExperimentConfig(
-            nodes_per_cluster=1,
-            requests_per_core=4,
-            task_flop=2.0e10,
-            continuous_rate=1.0,
-            sample_period=5.0,
-        )
-
-    comparison = run_policy_comparison(config=config)
-
-    print("Table II — makespan and energy per policy")
-    print(format_table2(comparison))
-    print()
-    print(
-        "POWER energy saving vs RANDOM:      "
-        f"{comparison.energy_saving('POWER', 'RANDOM'):6.1%}   (paper: 25%)"
-    )
-    print(
-        "POWER energy saving vs PERFORMANCE: "
-        f"{comparison.energy_saving('POWER', 'PERFORMANCE'):6.1%}   (paper: 19%)"
-    )
-    print(
-        "POWER makespan loss vs PERFORMANCE: "
-        f"{comparison.makespan_loss('POWER', 'PERFORMANCE'):6.1%}   (paper: <= 6%)"
-    )
-
+    sweep = placement_sweep(policies=("RANDOM", "POWER", "PERFORMANCE"), platform="quick", workload="quick")
+    outcome = run_sweep(sweep)
+    by_policy = outcome.by_policy()
+    print(format_sweep_summary(outcome, title="Table II — makespan and energy per policy", group_by=("policy",)))
+    power = by_policy["POWER"].metrics["total_energy"]
+    print(f"\nPOWER energy saving vs RANDOM:      {1 - power / by_policy['RANDOM'].metrics['total_energy']:6.1%}   (paper, full scale: 25%)")
+    print(f"POWER energy saving vs PERFORMANCE: {1 - power / by_policy['PERFORMANCE'].metrics['total_energy']:6.1%}   (paper, full scale: 19%)")
     for figure, policy in (("Figure 2", "POWER"), ("Figure 3", "PERFORMANCE"), ("Figure 4", "RANDOM")):
-        print()
-        print(
-            format_task_distribution(
-                comparison.task_distribution(policy),
-                title=f"{figure}: tasks per node ({policy})",
-            )
-        )
-
-    print()
-    print("Figure 5 — energy per cluster (J)")
-    print(format_energy_per_cluster(comparison))
+        tasks = by_policy[policy].detail["tasks_per_node"]
+        print("\n" + format_task_distribution(tasks, title=f"{figure}: tasks per node ({policy})"))
 
 
 if __name__ == "__main__":

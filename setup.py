@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy editable installs.
+
+All project metadata lives in ``pyproject.toml``.  This file only exists
+so that ``pip install -e . --no-use-pep517 --no-build-isolation`` works on
+toolchains that lack the ``wheel`` package (PEP 660 editable builds need
+it on setuptools < 70).
+"""
+
+from setuptools import setup
+
+setup()

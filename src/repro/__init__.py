@@ -36,6 +36,12 @@ contribution on top:
 ``repro.experiments``
     Ready-to-run reproductions of every table and figure in the paper's
     evaluation section.
+
+``repro.runner``
+    Declarative scenario sweeps over the experiments: frozen
+    ``ScenarioSpec`` grids with deterministic content hashes, a
+    process-pool executor that fans scenarios out across cores, and a
+    JSONL result store that turns repeated sweeps into incremental work.
 """
 
 from repro._version import __version__

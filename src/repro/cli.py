@@ -2,20 +2,30 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro table2                 # Table II comparison
-    python -m repro fig2                   # task distribution under POWER
-    python -m repro fig3                   # task distribution under PERFORMANCE
-    python -m repro fig4                   # task distribution under RANDOM
-    python -m repro fig5                   # energy per cluster
-    python -m repro fig6                   # heterogeneity study, 2 server types
-    python -m repro fig7                   # heterogeneity study, 4 server types
-    python -m repro fig9                   # adaptive provisioning scenario
-    python -m repro table1                 # the experimental infrastructure
-    python -m repro table3                 # the simulated cluster specs
+    repro table2                 # Table II comparison
+    repro fig2                   # task distribution under POWER
+    repro fig3                   # task distribution under PERFORMANCE
+    repro fig4                   # task distribution under RANDOM
+    repro fig5                   # energy per cluster
+    repro fig6                   # heterogeneity study, 2 server types
+    repro fig7                   # heterogeneity study, 4 server types
+    repro fig9                   # adaptive provisioning scenario
+    repro table1                 # the experimental infrastructure
+    repro table3                 # the simulated cluster specs
+    repro sweep                  # parallel scenario sweep with cached store
 
-Every command accepts ``--quick`` to run a reduced configuration (useful
-for smoke tests) — the default is the paper-scale configuration used by
-the benchmark harness.
+(``python -m repro …`` works identically without installing.)
+
+Every experiment command accepts ``--quick`` to run a reduced
+configuration (useful for smoke tests) — the default is the paper-scale
+configuration used by the benchmark harness — and ``--seed`` to move the
+base random seed of any stochastic component.
+
+``repro sweep`` runs a named scenario grid through the sweep runner:
+``--jobs`` fans scenarios out over worker processes, ``--store`` caches
+results in a JSONL file (a second run over the same grid is served
+entirely from cache), ``--force`` bypasses the cache, and ``--filter``
+restricts the grid to scenarios whose id contains a substring.
 """
 
 from __future__ import annotations
@@ -24,12 +34,13 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.experiments.adaptive import AdaptiveExperimentConfig, run_adaptive_experiment
+from repro.experiments.adaptive import adaptive_config_for, run_adaptive_experiment
 from repro.experiments.greenperf_eval import run_heterogeneity_experiment
 from repro.experiments.placement import run_placement_experiment, run_policy_comparison
 from repro.experiments.presets import (
     PlacementExperimentConfig,
     paper_infrastructure_table,
+    placement_config_for,
     simulated_clusters_table,
 )
 from repro.experiments.reporting import (
@@ -39,19 +50,13 @@ from repro.experiments.reporting import (
     format_table2,
     format_task_distribution,
 )
+from repro.runner.executor import run_scenarios
+from repro.runner.grids import grid, named_grids
+from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
 
-#: Reduced placement configuration used by ``--quick``.
-QUICK_PLACEMENT = PlacementExperimentConfig(
-    nodes_per_cluster=1,
-    requests_per_core=4,
-    task_flop=2.0e10,
-    continuous_rate=1.0,
-    sample_period=5.0,
-)
-
-
-def _placement_config(quick: bool) -> PlacementExperimentConfig:
-    return QUICK_PLACEMENT if quick else PlacementExperimentConfig()
+def _placement_config(args: argparse.Namespace) -> PlacementExperimentConfig:
+    scale = "quick" if args.quick else "paper"
+    return placement_config_for(scale, scale, seed=args.seed)
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -67,7 +72,7 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
-    comparison = run_policy_comparison(config=_placement_config(args.quick))
+    comparison = run_policy_comparison(config=_placement_config(args))
     lines = ["Table II — makespan and energy per policy", format_table2(comparison)]
     lines.append(
         f"POWER saves {comparison.energy_saving('POWER', 'RANDOM'):.1%} vs RANDOM "
@@ -91,7 +96,7 @@ def _cmd_table3(args: argparse.Namespace) -> str:
 
 def _distribution_command(policy: str, figure: str) -> Callable[[argparse.Namespace], str]:
     def _command(args: argparse.Namespace) -> str:
-        result = run_placement_experiment(policy, _placement_config(args.quick))
+        result = run_placement_experiment(policy, _placement_config(args))
         return format_task_distribution(
             result.metrics.tasks_per_node,
             title=f"{figure}: tasks per node ({policy})",
@@ -101,25 +106,49 @@ def _distribution_command(policy: str, figure: str) -> Callable[[argparse.Namesp
 
 
 def _cmd_fig5(args: argparse.Namespace) -> str:
-    comparison = run_policy_comparison(config=_placement_config(args.quick))
+    comparison = run_policy_comparison(config=_placement_config(args))
     return "Figure 5 — energy per cluster (J)\n" + format_energy_per_cluster(comparison)
 
 
 def _heterogeneity_command(kinds: int) -> Callable[[argparse.Namespace], str]:
     def _command(args: argparse.Namespace) -> str:
         tasks = 20 if args.quick else 50
-        result = run_heterogeneity_experiment(kinds=kinds, tasks_per_client=tasks)
+        result = run_heterogeneity_experiment(
+            kinds=kinds,
+            tasks_per_client=tasks,
+            random_seeds=tuple(args.seed + offset for offset in range(5)),
+        )
         return format_metric_points(result)
 
     return _command
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
-    config = (
-        AdaptiveExperimentConfig(duration=60 * 60.0) if args.quick else AdaptiveExperimentConfig()
-    )
+    config = adaptive_config_for(workload="quick" if args.quick else "paper")
     result = run_adaptive_experiment(config)
     return format_adaptive_series(result)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    if args.list:
+        lines = ["Available grids:"]
+        for name in named_grids():
+            lines.append(f"  {name:<16}{len(grid(name))} scenarios")
+        return "\n".join(lines)
+    scenarios = grid(args.grid)
+    if args.filter:
+        scenarios = tuple(s for s in scenarios if args.filter in s.scenario_id)
+    if not scenarios:
+        return f"grid {args.grid!r}: no scenario matches filter {args.filter!r}"
+    printer = SweepProgressPrinter()
+    outcome = run_scenarios(
+        scenarios,
+        jobs=args.jobs,
+        store=args.store,
+        force=args.force,
+        progress=printer,
+    )
+    return format_sweep_summary(outcome, title=f"Sweep {args.grid!r}")
 
 
 _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
@@ -150,7 +179,51 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="run a reduced configuration instead of the paper-scale one",
         )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            help="base random seed for stochastic components (default: 0)",
+        )
         sub.set_defaults(handler=handler)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario grid in parallel with a cached result store"
+    )
+    sweep.add_argument(
+        "--grid",
+        default="default",
+        help=f"named grid to run (default: 'default'; one of {', '.join(named_grids())})",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan scenarios out over (default: 1)",
+    )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store; already-stored scenarios are not re-simulated",
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="re-run every scenario even when the store already has its result",
+    )
+    sweep.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTRING",
+        help="only run scenarios whose id contains SUBSTRING",
+    )
+    sweep.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available grids and their sizes, then exit",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 
@@ -158,7 +231,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse arguments, run the selected command, print its report."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = args.handler(args)
+    try:
+        output = args.handler(args)
+    except ValueError as error:
+        # Bad user input (unknown grid/preset, jobs < 1, corrupt store…):
+        # report it like an argument error instead of a traceback.
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 2
     print(output)
     return 0
 

@@ -12,11 +12,18 @@
   that render the results the way the paper reports them.
 """
 
-from repro.experiments.adaptive import AdaptiveExperimentResult, run_adaptive_experiment
+from repro.experiments.adaptive import (
+    AdaptiveExperimentResult,
+    adaptive_config_for,
+    adaptive_sweep,
+    run_adaptive_experiment,
+)
 from repro.experiments.greenperf_eval import (
     HeterogeneityResult,
     MetricPoint,
+    heterogeneity_sweeps,
     run_heterogeneity_experiment,
+    run_heterogeneity_point,
 )
 from repro.experiments.placement import (
     PlacementComparison,
@@ -26,6 +33,8 @@ from repro.experiments.placement import (
 from repro.experiments.presets import (
     PlacementExperimentConfig,
     paper_infrastructure_table,
+    placement_config_for,
+    placement_sweep,
     simulated_clusters_table,
 )
 from repro.experiments.reporting import (
@@ -38,10 +47,16 @@ from repro.experiments.reporting import (
 
 __all__ = [
     "AdaptiveExperimentResult",
+    "adaptive_config_for",
+    "adaptive_sweep",
     "run_adaptive_experiment",
     "HeterogeneityResult",
     "MetricPoint",
+    "heterogeneity_sweeps",
     "run_heterogeneity_experiment",
+    "run_heterogeneity_point",
+    "placement_config_for",
+    "placement_sweep",
     "PlacementComparison",
     "run_placement_experiment",
     "run_policy_comparison",

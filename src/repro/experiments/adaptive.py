@@ -33,15 +33,34 @@ from repro.core.events import ElectricityCostEvent, EnergyEvent, TemperatureEven
 from repro.core.policies import GreenPerfPolicy
 from repro.core.provisioning import ProvisioningConfig, ProvisioningPlanner
 from repro.core.rules import AdministratorRules
-from repro.experiments.presets import PlacementExperimentConfig
+from repro.experiments.presets import (
+    PLATFORM_PRESETS,
+    PlacementExperimentConfig,
+    preset_value,
+)
 from repro.infrastructure.electricity import ElectricityCostSchedule, TariffPeriod
 from repro.infrastructure.thermal import ThermalEnvironment, ThermalEvent
 from repro.middleware.driver import MiddlewareSimulation
 from repro.middleware.hierarchy import build_hierarchy
+from repro.runner.spec import ScenarioSpec, SweepSpec
 from repro.simulation.task import Task
 from repro.util.validation import ensure_positive
 
 _MINUTE = 60.0
+
+#: Workload presets of the adaptive experiment, by scale.  Values override
+#: the :class:`AdaptiveExperimentConfig` defaults (the paper's scenario).
+ADAPTIVE_WORKLOAD_PRESETS: Mapping[str, Mapping[str, float]] = {
+    "paper": {},
+    "quick": {"duration": 60 * _MINUTE},
+    "tiny": {
+        "duration": 30 * _MINUTE,
+        "check_period": 300.0,
+        "lookahead": 600.0,
+        "client_tick": 30.0,
+        "task_flop": 2.0e11,
+    },
+}
 
 
 def default_adaptive_events(*, minute: float = _MINUTE) -> tuple[EnergyEvent, ...]:
@@ -113,6 +132,55 @@ class AdaptiveExperimentResult:
         """Average platform power over ``[start, end]`` from the 10-min series."""
         values = [power for time, power in self.power_series if start <= time <= end]
         return float(np.mean(values)) if values else 0.0
+
+
+def adaptive_config_for(
+    platform: str = "paper",
+    workload: str = "paper",
+    *,
+    horizon: float | None = None,
+    overrides: Mapping[str, object] | None = None,
+) -> AdaptiveExperimentConfig:
+    """Build an :class:`AdaptiveExperimentConfig` from preset names.
+
+    ``platform`` selects the node count
+    (:data:`repro.experiments.presets.PLATFORM_PRESETS`), ``workload`` the
+    scenario scale (:data:`ADAPTIVE_WORKLOAD_PRESETS`), ``horizon``
+    overrides the simulated duration, and ``overrides`` replaces individual
+    config fields — the resolution path of adaptive
+    :class:`~repro.runner.spec.ScenarioSpec` values.
+    """
+    params: dict[str, object] = dict(
+        preset_value(ADAPTIVE_WORKLOAD_PRESETS, workload, "adaptive workload")
+    )
+    params["nodes_per_cluster"] = preset_value(PLATFORM_PRESETS, platform, "platform")
+    if overrides:
+        params.update(overrides)
+    if horizon is not None:
+        params["duration"] = horizon
+    return AdaptiveExperimentConfig(**params)
+
+
+def adaptive_sweep(
+    *,
+    platforms: Sequence[str] = ("paper",),
+    horizons: Sequence[float | None] = (None,),
+    workload: str = "paper",
+) -> SweepSpec:
+    """The adaptive-provisioning grid as a declarative sweep.
+
+    The Figure 9 scenario always schedules with GreenPerf; the interesting
+    axes are the platform size and the observation horizon.
+    """
+    return SweepSpec(
+        base=ScenarioSpec(
+            experiment="adaptive",
+            platform=platforms[0],
+            workload=workload,
+            policy="GREENPERF",
+        ),
+        axes={"platform": tuple(platforms), "horizon": tuple(horizons)},
+    )
 
 
 def _build_schedules(

@@ -55,15 +55,20 @@ def summarize_runs(values: Sequence[float]) -> RunStatistics:
         raise ValueError("at least one value is required")
     array = np.asarray(values, dtype=float)
     count = int(array.size)
-    mean = float(array.mean())
+    minimum = float(array.min())
+    maximum = float(array.max())
+    # Summation rounding can push the computed mean one ulp outside the
+    # sample range (e.g. three identical values); clamp to keep the
+    # min <= mean <= max invariant exact.
+    mean = min(max(float(array.mean()), minimum), maximum)
     std = float(array.std(ddof=1)) if count > 1 else 0.0
     halfwidth = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
     return RunStatistics(
         count=count,
         mean=mean,
         std=std,
-        minimum=float(array.min()),
-        maximum=float(array.max()),
+        minimum=minimum,
+        maximum=maximum,
         ci_halfwidth=halfwidth,
     )
 

@@ -46,6 +46,9 @@ from repro.infrastructure.platform import (
 from repro.middleware.estimation import EstimationTags, EstimationVector
 from repro.middleware.plugin_scheduler import CandidateEntry
 from repro.middleware.requests import ServiceRequest
+from repro.runner.executor import run_scenarios
+from repro.runner.spec import ScenarioSpec, SweepSpec
+from repro.runner.store import ScenarioResult
 from repro.simulation.task import Task
 from repro.util.validation import ensure_positive
 
@@ -54,6 +57,45 @@ POINT_POLICIES = ("POWER", "GREENPERF", "PERFORMANCE")
 
 #: Default per-task cost of the heterogeneity study.
 DEFAULT_TASK_FLOP = 5.0e10
+
+#: Workload presets of the heterogeneity study, by scale.
+HETEROGENEITY_WORKLOAD_PRESETS: Mapping[str, Mapping[str, float]] = {
+    "paper": {
+        "servers_per_type": 2,
+        "tasks_per_client": 50,
+        "clients": 2,
+        "task_flop": DEFAULT_TASK_FLOP,
+    },
+    "quick": {
+        "servers_per_type": 2,
+        "tasks_per_client": 20,
+        "clients": 2,
+        "task_flop": DEFAULT_TASK_FLOP,
+    },
+    "tiny": {
+        "servers_per_type": 1,
+        "tasks_per_client": 5,
+        "clients": 2,
+        "task_flop": 2.0e10,
+    },
+}
+
+
+def heterogeneity_params_for(
+    workload: str, *, overrides: Mapping[str, object] | None = None
+) -> dict[str, object]:
+    """Resolve a workload preset name (plus overrides) to run parameters."""
+    from repro.experiments.presets import preset_value
+
+    params: dict[str, object] = dict(
+        preset_value(HETEROGENEITY_WORKLOAD_PRESETS, workload, "heterogeneity workload")
+    )
+    if overrides:
+        params.update(overrides)
+    params["servers_per_type"] = int(params["servers_per_type"])
+    params["tasks_per_client"] = int(params["tasks_per_client"])
+    params["clients"] = int(params["clients"])
+    return params
 
 
 @dataclass(frozen=True)
@@ -166,7 +208,7 @@ class _SimServer:
         return vector
 
 
-def _run_policy(
+def run_heterogeneity_point(
     policy_name: str,
     kinds: int,
     *,
@@ -176,7 +218,11 @@ def _run_policy(
     task_flop: float,
     seed: int = 0,
 ) -> MetricPoint:
-    """Closed-loop run of one policy over one scenario."""
+    """Closed-loop run of one policy over one scenario.
+
+    This is the unit of work of the heterogeneity study — the sweep runner
+    (:mod:`repro.runner.executor`) calls it once per scenario.
+    """
     ensure_positive(task_flop, "task_flop")
     scheduler_kwargs = {"seed": seed} if policy_name.upper() == "RANDOM" else {}
     scheduler = policy_by_name(policy_name, **scheduler_kwargs)
@@ -246,6 +292,53 @@ def _run_policy(
     )
 
 
+def heterogeneity_sweeps(
+    kinds: int,
+    *,
+    servers_per_type: int = 2,
+    tasks_per_client: int = 50,
+    clients: int = 2,
+    task_flop: float = DEFAULT_TASK_FLOP,
+    random_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> tuple[SweepSpec, SweepSpec]:
+    """The scenario grid of one heterogeneity study, as two sweeps.
+
+    The first sweep covers the deterministic point policies (Figures 6–7
+    plot them as single markers); the second spans the RANDOM policy over
+    ``random_seeds`` (the shaded area).  Explicit parameters travel as spec
+    overrides so arbitrary configurations remain cacheable by content hash.
+    """
+    base = ScenarioSpec(
+        experiment="heterogeneity",
+        platform=f"types{kinds}",
+        workload="paper",
+        overrides={
+            "servers_per_type": servers_per_type,
+            "tasks_per_client": tasks_per_client,
+            "clients": clients,
+            "task_flop": task_flop,
+        },
+    )
+    points = SweepSpec(base, {"policy": POINT_POLICIES})
+    randoms = SweepSpec(base.replace(policy="RANDOM"), {"seed": tuple(random_seeds)})
+    return points, randoms
+
+
+def _point_from_result(result: ScenarioResult) -> MetricPoint:
+    """Rebuild the figure coordinates of one scenario result."""
+    return MetricPoint(
+        policy=result.spec.policy,
+        mean_energy_per_task=result.metrics["mean_energy_per_task"],
+        mean_completion_time=result.metrics["mean_completion_time"],
+        total_energy=result.metrics["total_energy"],
+        makespan=result.metrics["makespan"],
+        tasks_per_type={
+            kind: int(count)
+            for kind, count in result.detail.get("tasks_per_type", {}).items()
+        },
+    )
+
+
 def run_heterogeneity_experiment(
     *,
     kinds: int = 2,
@@ -254,34 +347,35 @@ def run_heterogeneity_experiment(
     clients: int = 2,
     task_flop: float = DEFAULT_TASK_FLOP,
     random_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    jobs: int = 1,
+    store=None,
 ) -> HeterogeneityResult:
     """Run one heterogeneity scenario (Figure 6 with ``kinds=2``, Figure 7 with 4).
 
     Returns the POWER / GreenPerf / PERFORMANCE metric points and the
-    RANDOM area computed over ``random_seeds``.
+    RANDOM area computed over ``random_seeds``.  The grid executes through
+    the sweep runner: ``jobs`` fans the scenarios out over worker
+    processes and ``store`` (a path or
+    :class:`~repro.runner.store.ResultStore`) makes re-runs incremental.
     """
+    point_sweep, random_sweep = heterogeneity_sweeps(
+        kinds,
+        servers_per_type=servers_per_type,
+        tasks_per_client=tasks_per_client,
+        clients=clients,
+        task_flop=task_flop,
+        random_seeds=random_seeds,
+    )
+    point_specs = point_sweep.expand()
+    random_specs = random_sweep.expand()
+    outcome = run_scenarios(point_specs + random_specs, jobs=jobs, store=store)
+
     points: dict[str, MetricPoint] = {}
-    for policy in POINT_POLICIES:
-        points[policy] = _run_policy(
-            policy,
-            kinds,
-            servers_per_type=servers_per_type,
-            tasks_per_client=tasks_per_client,
-            clients=clients,
-            task_flop=task_flop,
-        )
+    for result in outcome.results[: len(point_specs)]:
+        points[result.spec.policy] = _point_from_result(result)
 
     random_points = [
-        _run_policy(
-            "RANDOM",
-            kinds,
-            servers_per_type=servers_per_type,
-            tasks_per_client=tasks_per_client,
-            clients=clients,
-            task_flop=task_flop,
-            seed=seed,
-        )
-        for seed in random_seeds
+        _point_from_result(result) for result in outcome.results[len(point_specs):]
     ]
     energies = [p.mean_energy_per_task for p in random_points]
     times = [p.mean_completion_time for p in random_points]

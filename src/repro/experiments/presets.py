@@ -32,6 +32,7 @@ from repro.infrastructure.platform import (
     simulated_cluster_specs,
     taurus_spec,
 )
+from repro.runner.spec import ScenarioSpec, SweepSpec
 from repro.util.validation import ensure_positive
 from repro.workload.generator import BurstThenContinuousWorkload
 
@@ -103,6 +104,100 @@ class PlacementExperimentConfig:
             continuous_rate=self.continuous_rate,
             flop_per_task=self.task_flop,
         )
+
+
+#: Platform presets: nodes per cluster on the Table I platform.
+PLATFORM_PRESETS: Mapping[str, int] = {
+    "paper": 4,  # the full Table I platform (12 SeD nodes)
+    "half": 2,
+    "quick": 1,  # one node per cluster — smoke-test scale
+    "tiny": 1,
+}
+
+#: Workload presets for the placement experiment, by scale.
+PLACEMENT_WORKLOAD_PRESETS: Mapping[str, Mapping[str, float]] = {
+    "paper": {
+        "requests_per_core": REQUESTS_PER_CORE,
+        "task_flop": CALIBRATED_TASK_FLOP,
+        "continuous_rate": CONTINUOUS_RATE,
+        "sample_period": 1.0,
+    },
+    "quick": {
+        "requests_per_core": 4,
+        "task_flop": 2.0e10,
+        "continuous_rate": 1.0,
+        "sample_period": 5.0,
+    },
+    "tiny": {
+        "requests_per_core": 2,
+        "task_flop": 1.0e10,
+        "continuous_rate": 1.0,
+        "sample_period": 10.0,
+    },
+}
+
+
+def preset_value(presets: Mapping[str, object], name: str, kind: str):
+    """Look ``name`` up in a preset table, failing with the available names."""
+    try:
+        return presets[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown {kind} preset {name!r}; available: {sorted(presets)}"
+        ) from None
+
+
+_preset = preset_value
+
+
+def placement_config_for(
+    platform: str = "paper",
+    workload: str = "paper",
+    *,
+    seed: int = 0,
+    overrides: Mapping[str, object] | None = None,
+) -> PlacementExperimentConfig:
+    """Build a :class:`PlacementExperimentConfig` from preset names.
+
+    ``platform`` selects the node count (:data:`PLATFORM_PRESETS`),
+    ``workload`` the request/task parameters
+    (:data:`PLACEMENT_WORKLOAD_PRESETS`), ``seed`` the RANDOM-policy seed,
+    and ``overrides`` replaces individual config fields — this is how
+    :class:`~repro.runner.spec.ScenarioSpec` values resolve to runnable
+    configurations.
+    """
+    params: dict[str, object] = dict(_preset(PLACEMENT_WORKLOAD_PRESETS, workload, "workload"))
+    params["nodes_per_cluster"] = _preset(PLATFORM_PRESETS, platform, "platform")
+    if overrides:
+        params.update(overrides)
+    return PlacementExperimentConfig(random_seed=seed, **params)
+
+
+def placement_sweep(
+    *,
+    policies: Sequence[str] = ("RANDOM", "POWER", "PERFORMANCE"),
+    seeds: Sequence[int] = (0,),
+    preferences: Sequence[float] = (0.0,),
+    platform: str = "paper",
+    workload: str = "paper",
+) -> SweepSpec:
+    """The placement experiment grid as a declarative sweep.
+
+    The default reproduces the Table II comparison (three policies, one
+    seed); widen ``seeds`` (meaningful for RANDOM only — the executor
+    rejects seed axes on deterministic policies) or ``preferences``
+    (GREEN_SCORE only) to grow the grid.
+    """
+    _preset(PLATFORM_PRESETS, platform, "platform")
+    _preset(PLACEMENT_WORKLOAD_PRESETS, workload, "workload")
+    return SweepSpec(
+        base=ScenarioSpec(experiment="placement", platform=platform, workload=workload),
+        axes={
+            "policy": tuple(policy.strip().upper() for policy in policies),
+            "seed": tuple(seeds),
+            "preference": tuple(preferences),
+        },
+    )
 
 
 def paper_infrastructure_table() -> Sequence[Mapping[str, object]]:

@@ -14,21 +14,7 @@ from typing import Mapping, Sequence
 from repro.experiments.adaptive import AdaptiveExperimentResult
 from repro.experiments.greenperf_eval import HeterogeneityResult
 from repro.experiments.placement import PlacementComparison
-
-
-def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
-    """Fixed-width text table."""
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    lines = []
-    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
-    lines.append(header_line)
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
-    for row in rows:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-    return "\n".join(lines)
+from repro.util.tables import render_table as _render_table
 
 
 def format_table2(comparison: PlacementComparison) -> str:

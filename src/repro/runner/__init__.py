@@ -1,0 +1,44 @@
+"""repro.runner — declarative, parallel, cached scenario sweeps.
+
+The paper's evaluation is a grid of scenarios (policies × heterogeneity ×
+preference weights).  This subsystem turns ad-hoc experiment scripts into
+sweeps:
+
+* :mod:`repro.runner.spec` — frozen :class:`ScenarioSpec` value objects
+  with deterministic content hashes, and :class:`SweepSpec` grid expansion;
+* :mod:`repro.runner.executor` — process-pool fan-out with grid-order
+  results (byte-identical aggregation at any ``jobs`` level);
+* :mod:`repro.runner.store` — an append-only JSONL result store keyed by
+  scenario hash (cache hit ⇒ no simulation) plus percentile aggregation;
+* :mod:`repro.runner.reporting` — deterministic progress and comparison
+  tables;
+* :mod:`repro.runner.grids` — the named grids behind ``repro sweep``.
+"""
+
+from repro.runner.executor import (
+    SweepOutcome,
+    execute_scenario,
+    run_scenarios,
+    run_sweep,
+)
+from repro.runner.grids import grid, named_grids
+from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
+from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid
+from repro.runner.store import ResultStore, ScenarioResult, summarize
+
+__all__ = [
+    "ScenarioSpec",
+    "SweepSpec",
+    "expand_grid",
+    "ScenarioResult",
+    "ResultStore",
+    "summarize",
+    "SweepOutcome",
+    "execute_scenario",
+    "run_scenarios",
+    "run_sweep",
+    "SweepProgressPrinter",
+    "format_sweep_summary",
+    "grid",
+    "named_grids",
+]

@@ -1,0 +1,284 @@
+"""Parallel scenario execution: fan a grid out across worker processes.
+
+``execute_scenario`` is the single entry point that turns a
+:class:`~repro.runner.spec.ScenarioSpec` into a
+:class:`~repro.runner.store.ScenarioResult`; it dispatches on the
+``experiment`` field and is importable at module level, which makes it
+picklable for :class:`concurrent.futures.ProcessPoolExecutor`.
+
+``run_sweep`` adds the orchestration: cache lookup against a
+:class:`~repro.runner.store.ResultStore`, fan-out over ``jobs`` worker
+processes, streaming completion callbacks, and a result tuple returned in
+*grid order* — never completion order — so a 4-worker sweep aggregates to
+byte-identical output as a serial one.  Determinism holds because every
+scenario is a pure function of its spec (all randomness is seeded from
+``spec.seed``); workers share no state.
+
+The experiment modules are imported lazily inside the dispatch functions:
+the runner package stays import-light and free of circular dependencies
+(experiment modules themselves declare their grids with
+:mod:`repro.runner.spec`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.runner.spec import GridLike, ScenarioSpec, expand_grid
+from repro.runner.store import ResultStore, ScenarioResult
+
+#: Callback fired as each scenario completes: ``(grid_index, result, total)``.
+ProgressCallback = Callable[[int, ScenarioResult, int], None]
+
+StoreLike = Union[ResultStore, str, Path, None]
+
+
+def _greenperf_metric(total_energy: float, task_count: float) -> float:
+    """Run-level GreenPerf: energy per completed task (power/throughput)."""
+    return total_energy / task_count if task_count else 0.0
+
+
+def _reject_unused(spec: ScenarioSpec, **unused: object) -> None:
+    """Refuse spec fields the experiment family would silently ignore.
+
+    Every field participates in the content hash, so a sweep over a field
+    the dispatcher ignores would run identical simulations under distinct
+    labels (and cache them as distinct entries).  Failing loudly keeps
+    sweep axes honest.
+    """
+    for name, default in unused.items():
+        if getattr(spec, name) != default:
+            raise ValueError(
+                f"{spec.experiment} scenarios do not use {name!r} "
+                f"(got {getattr(spec, name)!r}); drop it from the sweep axes"
+            )
+
+
+def _execute_placement(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.experiments.placement import run_placement_experiment
+    from repro.experiments.presets import placement_config_for
+
+    _reject_unused(spec, horizon=None)
+    if spec.policy != "GREEN_SCORE":
+        _reject_unused(spec, preference=0.0)
+    if spec.policy != "RANDOM":
+        _reject_unused(spec, seed=0)
+    config = placement_config_for(
+        platform=spec.platform,
+        workload=spec.workload,
+        seed=spec.seed,
+        overrides=dict(spec.overrides),
+    )
+    policy_kwargs = {}
+    if spec.policy == "GREEN_SCORE":
+        policy_kwargs["default_preference"] = spec.preference
+    result = run_placement_experiment(spec.policy, config, **policy_kwargs)
+    metrics = result.metrics
+    return ScenarioResult(
+        spec=spec,
+        metrics={
+            "makespan": metrics.makespan,
+            "total_energy": metrics.total_energy,
+            "task_count": float(metrics.task_count),
+            "mean_response_time": metrics.mean_response_time,
+            "mean_queue_delay": metrics.mean_queue_delay,
+            "greenperf": _greenperf_metric(metrics.total_energy, metrics.task_count),
+        },
+        detail={
+            "tasks_per_node": dict(metrics.tasks_per_node),
+            "tasks_per_cluster": dict(metrics.tasks_per_cluster),
+            "energy_per_cluster": dict(metrics.energy_per_cluster),
+        },
+    )
+
+
+def _execute_heterogeneity(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.experiments.greenperf_eval import (
+        heterogeneity_params_for,
+        run_heterogeneity_point,
+    )
+
+    _reject_unused(spec, preference=0.0, horizon=None)
+    if spec.policy != "RANDOM":
+        _reject_unused(spec, seed=0)
+    if not spec.platform.startswith("types"):
+        raise ValueError(
+            f"heterogeneity platforms are 'types2'..'types4', got {spec.platform!r}"
+        )
+    kinds = int(spec.platform.removeprefix("types"))
+    params = heterogeneity_params_for(spec.workload, overrides=dict(spec.overrides))
+    point = run_heterogeneity_point(spec.policy, kinds, seed=spec.seed, **params)
+    task_count = float(sum(point.tasks_per_type.values()))
+    return ScenarioResult(
+        spec=spec,
+        metrics={
+            "makespan": point.makespan,
+            "total_energy": point.total_energy,
+            "task_count": task_count,
+            "mean_energy_per_task": point.mean_energy_per_task,
+            "mean_completion_time": point.mean_completion_time,
+            "greenperf": _greenperf_metric(point.total_energy, task_count),
+        },
+        detail={"tasks_per_type": dict(point.tasks_per_type)},
+    )
+
+
+def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.experiments.adaptive import adaptive_config_for, run_adaptive_experiment
+
+    # The Figure 9 scenario always schedules with GreenPerf and has no
+    # stochastic component.
+    _reject_unused(spec, policy="GREENPERF", preference=0.0, seed=0)
+    config = adaptive_config_for(
+        platform=spec.platform,
+        workload=spec.workload,
+        horizon=spec.horizon,
+        overrides=dict(spec.overrides),
+    )
+    result = run_adaptive_experiment(config)
+    return ScenarioResult(
+        spec=spec,
+        metrics={
+            "makespan": config.duration,
+            "total_energy": result.total_energy,
+            "task_count": float(result.completed_tasks),
+            "final_candidates": float(result.candidates_at(config.duration)),
+            "greenperf": _greenperf_metric(
+                result.total_energy, float(result.completed_tasks)
+            ),
+        },
+        detail={
+            "candidate_series": [
+                [time, count] for time, count in result.candidate_series
+            ],
+        },
+    )
+
+
+_DISPATCH = {
+    "placement": _execute_placement,
+    "heterogeneity": _execute_heterogeneity,
+    "adaptive": _execute_adaptive,
+}
+
+
+def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario in-process and return its result.
+
+    This is the unit of work shipped to pool workers; it must stay a
+    module-level function so it pickles.
+    """
+    return _DISPATCH[spec.experiment](spec)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Results of a sweep, in grid order, plus cache accounting."""
+
+    results: tuple[ScenarioResult, ...]
+    executed: int
+    cached: int
+
+    @property
+    def total(self) -> int:
+        """Total scenario count of the sweep."""
+        return len(self.results)
+
+    def by_policy(self) -> dict[str, ScenarioResult]:
+        """Results keyed by policy name (last scenario of a policy wins)."""
+        return {result.spec.policy: result for result in self.results}
+
+
+def _resolve_store(store: StoreLike) -> ResultStore | None:
+    if store is None:
+        return None
+    if isinstance(store, ResultStore):
+        return store.load()
+    return ResultStore(store).load()
+
+
+def run_scenarios(
+    scenarios,
+    *,
+    jobs: int = 1,
+    store: StoreLike = None,
+    force: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepOutcome:
+    """Execute a flat scenario sequence, honouring the cache and ``jobs``.
+
+    Cache hits are reported first (in grid order); misses are executed —
+    serially for ``jobs <= 1``, otherwise on a process pool — and streamed
+    to ``progress`` and the store as they complete.  The returned
+    ``results`` tuple is always in grid order.
+    """
+    scenarios = tuple(scenarios)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    resolved_store = _resolve_store(store)
+    total = len(scenarios)
+    results: list[ScenarioResult | None] = [None] * total
+
+    pending: list[int] = []
+    for index, scenario in enumerate(scenarios):
+        hit = None
+        if resolved_store is not None and not force:
+            hit = resolved_store.get(scenario.content_hash())
+        if hit is not None:
+            results[index] = hit
+            if progress is not None:
+                progress(index, hit, total)
+        else:
+            pending.append(index)
+
+    def _complete(index: int, result: ScenarioResult) -> None:
+        results[index] = result
+        if resolved_store is not None:
+            resolved_store.put(result)
+        if progress is not None:
+            progress(index, result, total)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for index in pending:
+                _complete(index, execute_scenario(scenarios[index]))
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_scenario, scenarios[index]): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    _complete(futures[future], future.result())
+
+    return SweepOutcome(
+        results=tuple(results),  # type: ignore[arg-type]
+        executed=len(pending),
+        cached=total - len(pending),
+    )
+
+
+def run_sweep(
+    sweep: GridLike,
+    *,
+    jobs: int = 1,
+    store: StoreLike = None,
+    force: bool = False,
+    filter: str | None = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepOutcome:
+    """Expand a sweep/grid and execute it (see :func:`run_scenarios`).
+
+    ``filter`` keeps only scenarios whose ``scenario_id`` contains the
+    given substring — handy for re-running one slice of a large grid.
+    """
+    scenarios = expand_grid(sweep)
+    if filter:
+        scenarios = tuple(s for s in scenarios if filter in s.scenario_id)
+    return run_scenarios(
+        scenarios, jobs=jobs, store=store, force=force, progress=progress
+    )

@@ -1,0 +1,132 @@
+"""Named scenario grids for the ``repro sweep`` command.
+
+Each grid is a composition of :class:`~repro.runner.spec.SweepSpec`s
+covering one slice of the paper's evaluation.  Grids are defined purely in
+terms of spec presets — the experiment modules resolve the preset names at
+execution time — so this module stays importable without touching any
+simulation code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid
+
+#: The deterministic placement policies plotted as single points.
+_POINT_POLICIES = ("POWER", "GREENPERF", "PERFORMANCE")
+
+
+def _default_grid() -> tuple[ScenarioSpec, ...]:
+    """The 24-scenario demonstration grid (quick presets, every family)."""
+    placement = ScenarioSpec(experiment="placement", platform="quick", workload="quick")
+    heterogeneity = ScenarioSpec(
+        experiment="heterogeneity", platform="types2", workload="quick"
+    )
+    return expand_grid(
+        (
+            SweepSpec(placement, {"policy": _POINT_POLICIES}),
+            SweepSpec(placement.replace(policy="RANDOM"), {"seed": (0, 1, 2, 3, 4)}),
+            SweepSpec(
+                placement.replace(policy="GREEN_SCORE"),
+                {"preference": (-0.75, -0.25, 0.25, 0.75)},
+            ),
+            SweepSpec(
+                heterogeneity,
+                {
+                    "platform": ("types2", "types3", "types4"),
+                    "policy": _POINT_POLICIES,
+                },
+            ),
+            SweepSpec(
+                heterogeneity.replace(policy="RANDOM"),
+                {"platform": ("types2", "types4")},
+            ),
+            ScenarioSpec(
+                experiment="adaptive",
+                platform="quick",
+                workload="quick",
+                policy="GREENPERF",
+                horizon=3600.0,
+            ),
+        )
+    )
+
+
+def _smoke_grid() -> tuple[ScenarioSpec, ...]:
+    """A three-scenario grid small enough for unit tests and CI smoke runs."""
+    placement = ScenarioSpec(experiment="placement", platform="tiny", workload="tiny")
+    return expand_grid(
+        (
+            SweepSpec(placement, {"policy": ("POWER", "RANDOM")}),
+            ScenarioSpec(
+                experiment="heterogeneity",
+                platform="types2",
+                workload="tiny",
+                policy="GREENPERF",
+            ),
+        )
+    )
+
+
+def _table2_grid() -> tuple[ScenarioSpec, ...]:
+    """Paper-scale placement comparison behind Table II and Figures 2–5."""
+    base = ScenarioSpec(experiment="placement", platform="paper", workload="paper")
+    return expand_grid(
+        SweepSpec(base, {"policy": ("RANDOM", "POWER", "PERFORMANCE")})
+    )
+
+
+def _heterogeneity_grid() -> tuple[ScenarioSpec, ...]:
+    """Paper-scale heterogeneity study behind Figures 6 and 7."""
+    base = ScenarioSpec(experiment="heterogeneity", platform="types2", workload="paper")
+    return expand_grid(
+        (
+            SweepSpec(
+                base,
+                {
+                    "platform": ("types2", "types3", "types4"),
+                    "policy": _POINT_POLICIES,
+                },
+            ),
+            SweepSpec(
+                base.replace(policy="RANDOM"),
+                {"platform": ("types2", "types4"), "seed": (0, 1, 2, 3, 4)},
+            ),
+        )
+    )
+
+
+def _preferences_grid() -> tuple[ScenarioSpec, ...]:
+    """GREEN_SCORE preference-weight sweep (Equation 1 trade-off curve)."""
+    base = ScenarioSpec(
+        experiment="placement", platform="quick", workload="quick", policy="GREEN_SCORE"
+    )
+    return expand_grid(
+        SweepSpec(base, {"preference": (-1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0)})
+    )
+
+
+_GRIDS: dict[str, Callable[[], tuple[ScenarioSpec, ...]]] = {
+    "default": _default_grid,
+    "smoke": _smoke_grid,
+    "table2": _table2_grid,
+    "heterogeneity": _heterogeneity_grid,
+    "preferences": _preferences_grid,
+}
+
+
+def named_grids() -> tuple[str, ...]:
+    """Names of all registered grids."""
+    return tuple(sorted(_GRIDS))
+
+
+def grid(name: str) -> tuple[ScenarioSpec, ...]:
+    """The expanded scenario tuple of one named grid."""
+    try:
+        factory = _GRIDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown grid {name!r}; available: {sorted(_GRIDS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,98 @@
+"""Sweep progress and comparison reporting.
+
+Two renderers for sweep runs:
+
+* :class:`SweepProgressPrinter` — a progress callback for
+  :func:`repro.runner.executor.run_sweep` that prints one line per
+  scenario.  Completions arrive in arbitrary order from the worker pool;
+  the printer buffers them and flushes strictly in *grid order*, so the
+  progress log of a parallel sweep is byte-identical to a serial one.
+* :func:`format_sweep_summary` — the aggregated comparison table
+  (mean/percentiles of makespan, energy and GreenPerf per group key).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence, TextIO
+
+from repro.runner.executor import SweepOutcome
+from repro.runner.store import DEFAULT_SUMMARY_METRICS, ScenarioResult, summarize
+from repro.util.tables import render_table
+
+
+class SweepProgressPrinter:
+    """Progress callback printing ``[k/N] run|hit <scenario-id>`` lines.
+
+    Out-of-order completions are buffered until every earlier scenario has
+    completed, which keeps the output deterministic under any worker
+    scheduling.
+    """
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+        self._buffered: dict[int, ScenarioResult] = {}
+        self._next_index = 0
+
+    def __call__(self, index: int, result: ScenarioResult, total: int) -> None:
+        self._buffered[index] = result
+        while self._next_index in self._buffered:
+            flushed = self._buffered.pop(self._next_index)
+            status = "hit" if flushed.cached else "run"
+            print(
+                f"[{self._next_index + 1:>3}/{total}] {status}  {flushed.spec.scenario_id}",
+                file=self._stream,
+            )
+            self._next_index += 1
+
+
+def format_sweep_summary(
+    outcome: SweepOutcome,
+    *,
+    title: str | None = None,
+    group_by: Sequence[str] = ("experiment", "policy"),
+    metrics: Sequence[str] = DEFAULT_SUMMARY_METRICS,
+    percentiles: Sequence[float] = (50.0, 95.0),
+) -> str:
+    """The aggregated comparison table of a sweep outcome.
+
+    One row per group key, with scenario count and mean/percentile columns
+    for every metric.  Row and column order are deterministic, so two runs
+    of the same grid — at any ``--jobs`` level — format identically.
+    """
+    rows = summarize(
+        outcome.results, group_by=group_by, metrics=metrics, percentiles=percentiles
+    )
+    headers = list(group_by) + ["n"]
+    for metric in metrics:
+        headers.append(f"{metric} mean")
+        for q in percentiles:
+            headers.append(f"{metric} p{q:g}")
+
+    def _cell(row, key: str) -> str:
+        value = row.get(key)
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:,.1f}"
+        return str(value)
+
+    body = []
+    for row in rows:
+        cells = [str(row[name]) for name in group_by]
+        cells.append(str(row["count"]))
+        for metric in metrics:
+            cells.append(_cell(row, f"{metric}_mean"))
+            for q in percentiles:
+                cells.append(_cell(row, f"{metric}_p{q:g}"))
+        body.append(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{outcome.total} scenarios — {outcome.executed} executed, "
+        f"{outcome.cached} cached"
+    )
+    lines.append(render_table(headers, body))
+    return "\n".join(lines)

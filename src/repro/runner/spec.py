@@ -1,0 +1,260 @@
+"""Declarative scenario specifications for the sweep runner.
+
+The paper's evaluation is a grid of scenarios — scheduling policies ×
+platform heterogeneity × preference weights (Tables I–III, Figures 2–9).
+:class:`ScenarioSpec` captures one cell of that grid as a frozen value
+object; :class:`SweepSpec` expands a base spec and a set of axes into the
+full cartesian grid.  Every spec has a deterministic content hash
+(:meth:`ScenarioSpec.content_hash`), which is the key of the result store:
+two processes — or two machines — computing the hash of the same scenario
+always agree, which is what makes cached sweeps and multi-worker runs
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Union
+
+#: Bump when the meaning of a spec field changes — including edits to the
+#: preset tables a spec refers to by *name* (platform/workload presets in
+#: the experiment modules): hashes cover the names, not the resolved
+#: values, so without a bump old store entries would keep serving results
+#: computed under the previous preset definitions.
+SPEC_VERSION = 1
+
+#: The experiment families the executor knows how to dispatch.
+EXPERIMENTS = ("placement", "heterogeneity", "adaptive")
+
+#: Scalar values allowed in ``overrides`` (must survive a JSON round-trip).
+Scalar = Union[bool, int, float, str]
+
+_OVERRIDE_TYPES = (bool, int, float, str)
+
+
+def _normalize_overrides(overrides) -> tuple[tuple[str, Scalar], ...]:
+    """Canonical form of ``overrides``: key-sorted tuple of pairs."""
+    if overrides is None:
+        return ()
+    if isinstance(overrides, Mapping):
+        items = overrides.items()
+    else:
+        items = tuple(overrides)
+    normalized = []
+    for key, value in items:
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"override keys must be non-empty strings, got {key!r}")
+        if not isinstance(value, _OVERRIDE_TYPES):
+            raise ValueError(
+                f"override {key!r} must be a bool/int/float/str, got {type(value).__name__}"
+            )
+        normalized.append((key, value))
+    normalized.sort(key=lambda pair: pair[0])
+    keys = [key for key, _ in normalized]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate override keys in {keys}")
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of an evaluation grid.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment family: ``"placement"`` (Section IV-A),
+        ``"heterogeneity"`` (Section IV-B) or ``"adaptive"`` (Section IV-C).
+    platform:
+        Platform preset name.  Placement/adaptive use the node-count
+        presets of :data:`repro.experiments.presets.PLATFORM_PRESETS`;
+        heterogeneity uses ``"types2"`` … ``"types4"`` (server-type count).
+    workload:
+        Workload preset name (``"paper"``, ``"quick"``, ``"tiny"``), mapped
+        to concrete parameters by the experiment module.
+    policy:
+        Scheduling policy under test (normalised to upper case).
+    preference:
+        User preference weight in ``[-1, 1]`` (Equation 1); consumed by the
+        ``GREEN_SCORE`` policy.
+    seed:
+        Random seed threaded into any stochastic component (e.g. RANDOM).
+    horizon:
+        Optional simulation-duration cap in seconds (adaptive scenarios).
+    overrides:
+        Extra experiment parameters escaping the presets, as a key-sorted
+        tuple of ``(name, scalar)`` pairs (a mapping is accepted and
+        normalised).
+    """
+
+    experiment: str = "placement"
+    platform: str = "paper"
+    workload: str = "paper"
+    policy: str = "POWER"
+    preference: float = 0.0
+    seed: int = 0
+    horizon: float | None = None
+    overrides: tuple[tuple[str, Scalar], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; expected one of {EXPERIMENTS}"
+            )
+        if not self.platform or not self.workload:
+            raise ValueError("platform and workload preset names must be non-empty")
+        if not self.policy or not self.policy.strip():
+            raise ValueError("policy must be a non-empty name")
+        object.__setattr__(self, "policy", self.policy.strip().upper())
+        object.__setattr__(self, "preference", float(self.preference))
+        if not -1.0 <= self.preference <= 1.0:
+            raise ValueError(f"preference must be in [-1, 1], got {self.preference}")
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.horizon is not None:
+            object.__setattr__(self, "horizon", float(self.horizon))
+            if self.horizon <= 0:
+                raise ValueError(f"horizon must be > 0, got {self.horizon}")
+        object.__setattr__(self, "overrides", _normalize_overrides(self.overrides))
+
+    # -- identity ---------------------------------------------------------------------
+    @property
+    def scenario_id(self) -> str:
+        """Human-readable identifier, used for display and ``--filter``."""
+        parts = [
+            self.experiment,
+            self.platform,
+            self.workload,
+            self.policy,
+            f"p{self.preference:+.2f}",
+            f"s{self.seed}",
+        ]
+        if self.horizon is not None:
+            parts.append(f"h{self.horizon:g}")
+        parts.extend(f"{key}={value}" for key, value in self.overrides)
+        return "/".join(parts)
+
+    def to_mapping(self) -> dict[str, object]:
+        """JSON-compatible representation (inverse of :meth:`from_mapping`)."""
+        return {
+            "experiment": self.experiment,
+            "platform": self.platform,
+            "workload": self.workload,
+            "policy": self.policy,
+            "preference": self.preference,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_mapping` output (e.g. a store record)."""
+        return cls(**mapping)
+
+    def content_hash(self) -> str:
+        """Deterministic SHA-256 of the spec content.
+
+        The hash covers every field plus :data:`SPEC_VERSION`, through a
+        canonical (key-sorted, minimal-separator) JSON encoding, so it is
+        stable across processes, platforms and Python hash randomisation.
+        """
+        payload = {"version": SPEC_VERSION, **self.to_mapping()}
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy of the spec with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+_FIELD_NAMES = tuple(field.name for field in dataclasses.fields(ScenarioSpec))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario plus axes to vary: the declarative form of a grid.
+
+    ``axes`` maps :class:`ScenarioSpec` field names to the values each
+    takes; :meth:`expand` yields the cartesian product in axis order (last
+    axis fastest), which fixes the canonical scenario order of a sweep.
+    """
+
+    base: ScenarioSpec
+    axes: tuple[tuple[str, tuple[object, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        normalized = []
+        for name, values in axes:
+            if name not in _FIELD_NAMES:
+                raise ValueError(
+                    f"unknown axis {name!r}; expected one of {_FIELD_NAMES}"
+                )
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {name!r} must provide at least one value")
+            normalized.append((name, values))
+        names = [name for name, _ in normalized]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axes in {names}")
+        object.__setattr__(self, "axes", tuple(normalized))
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios the sweep expands to."""
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    def expand(self) -> tuple[ScenarioSpec, ...]:
+        """All scenarios of the grid, in deterministic cartesian order."""
+        if not self.axes:
+            return (self.base,)
+        names = [name for name, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        scenarios = []
+        for combo in itertools.product(*value_lists):
+            scenarios.append(self.base.replace(**dict(zip(names, combo))))
+        return tuple(scenarios)
+
+
+GridLike = Union[ScenarioSpec, SweepSpec, Iterable[Union[ScenarioSpec, SweepSpec]]]
+
+
+def expand_grid(grid: GridLike) -> tuple[ScenarioSpec, ...]:
+    """Expand sweeps/specs into a flat, duplicate-free scenario tuple.
+
+    Accepts a single :class:`ScenarioSpec`, a single :class:`SweepSpec`, or
+    any iterable mixing both.  Duplicates (same content hash) keep their
+    first occurrence, so composed grids stay stable under re-ordering of
+    later sweeps.
+    """
+    if isinstance(grid, (ScenarioSpec, SweepSpec)):
+        grid = (grid,)
+    scenarios: list[ScenarioSpec] = []
+    seen: set[str] = set()
+    for entry in grid:
+        expanded: Sequence[ScenarioSpec]
+        if isinstance(entry, SweepSpec):
+            expanded = entry.expand()
+        elif isinstance(entry, ScenarioSpec):
+            expanded = (entry,)
+        else:
+            raise TypeError(
+                f"grid entries must be ScenarioSpec or SweepSpec, got {type(entry).__name__}"
+            )
+        for scenario in expanded:
+            digest = scenario.content_hash()
+            if digest not in seen:
+                seen.add(digest)
+                scenarios.append(scenario)
+    return tuple(scenarios)

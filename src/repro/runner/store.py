@@ -1,0 +1,203 @@
+"""Cached scenario results: the JSONL store and its aggregation helpers.
+
+The store is an append-only JSONL file keyed by the scenario content hash
+(:meth:`repro.runner.spec.ScenarioSpec.content_hash`).  A sweep consults
+it before simulating: a hit returns the recorded result without running
+anything, which turns repeated sweeps over a growing grid into incremental
+work.  Appending (rather than rewriting) keeps concurrent readers safe and
+makes a crashed sweep resumable — whatever completed is already on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.runner.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario: a flat metric summary plus JSON detail.
+
+    ``metrics`` holds the numeric summary common to all experiment
+    families (``makespan``, ``total_energy``, ``task_count``,
+    ``greenperf`` = energy per completed task, plus family-specific
+    extras); ``detail`` holds richer JSON-compatible structures such as
+    per-node task histograms.  ``cached`` marks results served from a
+    store instead of a fresh simulation.
+    """
+
+    spec: ScenarioSpec
+    metrics: Mapping[str, float]
+    detail: Mapping[str, object] = field(default_factory=dict)
+    cached: bool = False
+
+    @property
+    def scenario_hash(self) -> str:
+        """Content hash of the underlying spec (the store key)."""
+        return self.spec.content_hash()
+
+    def metric(self, name: str) -> float:
+        """One metric value; raises ``KeyError`` for unknown names."""
+        return self.metrics[name]
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-compatible store record (inverse of :meth:`from_record`)."""
+        return {
+            "hash": self.scenario_hash,
+            "spec": self.spec.to_mapping(),
+            "metrics": {key: float(value) for key, value in sorted(self.metrics.items())},
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_record(
+        cls, record: Mapping[str, object], *, cached: bool = False
+    ) -> "ScenarioResult":
+        """Rebuild a result from a store record."""
+        return cls(
+            spec=ScenarioSpec.from_mapping(record["spec"]),
+            metrics=dict(record["metrics"]),
+            detail=dict(record.get("detail", {})),
+            cached=cached,
+        )
+
+    def as_cached(self) -> "ScenarioResult":
+        """The same result flagged as served from cache."""
+        return dataclasses.replace(self, cached=True)
+
+
+class ResultStore:
+    """JSONL-backed result store keyed by scenario content hash.
+
+    Records are appended as they complete; on load, the *last* record of a
+    hash wins, so force-rerunning a scenario simply appends a fresher line.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._records: dict[str, Mapping[str, object]] = {}
+        self._loaded = False
+
+    @property
+    def path(self) -> Path:
+        """Location of the backing JSONL file."""
+        return self._path
+
+    def load(self) -> "ResultStore":
+        """Read the backing file (once); missing file means an empty store."""
+        if self._loaded:
+            return self
+        self._loaded = True
+        if not self._path.exists():
+            return self
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    digest = record["hash"]
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    raise ValueError(
+                        f"{self._path}:{line_number}: corrupt store record ({error})"
+                    ) from None
+                self._records[digest] = record
+        return self
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, scenario_hash: str) -> bool:
+        return scenario_hash in self._records
+
+    def get(self, scenario_hash: str, *, cached: bool = True) -> ScenarioResult | None:
+        """The stored result of one scenario hash, or ``None``."""
+        record = self._records.get(scenario_hash)
+        if record is None:
+            return None
+        return ScenarioResult.from_record(record, cached=cached)
+
+    def put(self, result: ScenarioResult) -> None:
+        """Append one result to the file and the in-memory index."""
+        record = result.to_record()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._records[record["hash"]] = record
+
+    def results(self) -> tuple[ScenarioResult, ...]:
+        """All stored results, ordered by scenario id for determinism."""
+        loaded = [
+            ScenarioResult.from_record(record, cached=True)
+            for record in self._records.values()
+        ]
+        loaded.sort(key=lambda result: result.spec.scenario_id)
+        return tuple(loaded)
+
+
+#: Metrics every experiment family reports, used as the default aggregate.
+DEFAULT_SUMMARY_METRICS = ("makespan", "total_energy", "greenperf")
+
+
+def _group_key(result: ScenarioResult, group_by: Sequence[str]) -> tuple:
+    key = []
+    for name in group_by:
+        if name in result.metrics:
+            key.append(result.metrics[name])
+        else:
+            key.append(getattr(result.spec, name))
+    return tuple(key)
+
+
+def summarize(
+    results: Iterable[ScenarioResult],
+    *,
+    group_by: Sequence[str] = ("experiment", "policy"),
+    metrics: Sequence[str] = DEFAULT_SUMMARY_METRICS,
+    percentiles: Sequence[float] = (50.0, 95.0),
+) -> tuple[Mapping[str, object], ...]:
+    """Aggregate scenario results per group key.
+
+    ``group_by`` names :class:`ScenarioSpec` fields (or metric names); each
+    returned row carries the group values, the scenario count, and — for
+    every metric — the mean plus the requested percentiles, as
+    ``"<metric>_mean"`` / ``"<metric>_p<q>"`` entries.  Rows are sorted by
+    group key, so the aggregation of a sweep is byte-stable regardless of
+    the execution order of its scenarios.
+    """
+    group_by = tuple(group_by)
+    grouped: dict[tuple, list[ScenarioResult]] = {}
+    for result in results:
+        grouped.setdefault(_group_key(result, group_by), []).append(result)
+
+    def _sort_key(key: tuple) -> tuple:
+        # Numeric parts sort numerically, strings lexically; the leading
+        # bool keeps mixed-type positions comparable.
+        return tuple(
+            (True, part, 0.0) if isinstance(part, str) else (False, "", float(part))
+            for part in key
+        )
+
+    rows: list[Mapping[str, object]] = []
+    for key in sorted(grouped, key=_sort_key):
+        members = grouped[key]
+        row: dict[str, object] = dict(zip(group_by, key))
+        row["count"] = len(members)
+        for metric in metrics:
+            values = [m.metrics[metric] for m in members if metric in m.metrics]
+            if not values:
+                continue
+            data = np.asarray(values, dtype=float)
+            row[f"{metric}_mean"] = float(data.mean())
+            for q in percentiles:
+                row[f"{metric}_p{q:g}"] = float(np.percentile(data, q))
+        rows.append(row)
+    return tuple(rows)

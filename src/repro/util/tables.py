@@ -1,0 +1,25 @@
+"""Fixed-width plain-text table rendering.
+
+Shared by the experiment reporting (:mod:`repro.experiments.reporting`)
+and the sweep runner (:mod:`repro.runner.reporting`): both render their
+results the way the paper prints its tables — monospace columns, a header
+row and a dashed rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Tests for the sweep executor: caching, determinism, parallel fan-out."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+import repro.runner.executor as executor_module
+from repro.runner.executor import execute_scenario, run_scenarios, run_sweep
+from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
+from repro.runner.spec import ScenarioSpec, SweepSpec
+from repro.runner.store import ResultStore
+
+#: A grid small enough for unit tests: two placement policies + one
+#: heterogeneity scenario, all on the tiny presets.
+TINY_GRID = (
+    SweepSpec(
+        base=ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),
+        axes={"policy": ("POWER", "RANDOM")},
+    ),
+    ScenarioSpec(
+        experiment="heterogeneity", platform="types2", workload="tiny", policy="GREENPERF"
+    ),
+)
+
+
+class TestExecuteScenario:
+    def test_placement_scenario_produces_metrics(self):
+        result = execute_scenario(
+            ScenarioSpec(experiment="placement", platform="tiny", workload="tiny")
+        )
+        assert result.metrics["task_count"] > 0
+        assert result.metrics["total_energy"] > 0
+        assert result.metrics["greenperf"] == pytest.approx(
+            result.metrics["total_energy"] / result.metrics["task_count"]
+        )
+        assert result.detail["tasks_per_node"]
+
+    def test_heterogeneity_scenario_produces_metrics(self):
+        result = execute_scenario(
+            ScenarioSpec(
+                experiment="heterogeneity",
+                platform="types2",
+                workload="tiny",
+                policy="GREENPERF",
+            )
+        )
+        assert result.metrics["task_count"] == 10  # 2 clients x 5 tasks
+        assert result.detail["tasks_per_type"]
+
+    def test_heterogeneity_platform_must_name_types(self):
+        with pytest.raises(ValueError, match="types2"):
+            execute_scenario(
+                ScenarioSpec(
+                    experiment="heterogeneity", platform="quick", workload="tiny"
+                )
+            )
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            # Fields the dispatcher would ignore must be rejected, not hashed
+            # into silently-duplicate scenarios.
+            ScenarioSpec(experiment="placement", horizon=100.0),
+            ScenarioSpec(experiment="placement", policy="POWER", preference=0.5),
+            ScenarioSpec(experiment="placement", policy="POWER", seed=1),
+            ScenarioSpec(experiment="heterogeneity", platform="types2", preference=0.5),
+            ScenarioSpec(experiment="heterogeneity", platform="types2", policy="GREENPERF", seed=1),
+            ScenarioSpec(experiment="adaptive", policy="POWER"),
+            ScenarioSpec(experiment="adaptive", seed=1),
+        ],
+    )
+    def test_unused_spec_fields_rejected(self, spec):
+        with pytest.raises(ValueError, match="do not use"):
+            execute_scenario(spec)
+
+    def test_preference_reaches_green_score_policy(self):
+        energy_biased = execute_scenario(
+            ScenarioSpec(
+                experiment="placement",
+                platform="tiny",
+                workload="tiny",
+                policy="GREEN_SCORE",
+                preference=-1.0,
+            )
+        )
+        performance_biased = execute_scenario(
+            ScenarioSpec(
+                experiment="placement",
+                platform="tiny",
+                workload="tiny",
+                policy="GREEN_SCORE",
+                preference=1.0,
+            )
+        )
+        assert energy_biased.metrics != performance_biased.metrics
+
+
+class TestRunSweep:
+    def test_results_in_grid_order(self):
+        outcome = run_sweep(TINY_GRID)
+        assert outcome.executed == 3
+        assert outcome.cached == 0
+        assert [r.spec.policy for r in outcome.results] == [
+            "POWER",
+            "RANDOM",
+            "GREENPERF",
+        ]
+
+    def test_filter_restricts_scenarios(self):
+        outcome = run_sweep(TINY_GRID, filter="placement")
+        assert outcome.total == 2
+        assert all(r.spec.experiment == "placement" for r in outcome.results)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(TINY_GRID, jobs=0)
+
+    def test_two_workers_match_serial_run_byte_for_byte(self):
+        serial = run_sweep(TINY_GRID, jobs=1)
+        parallel = run_sweep(TINY_GRID, jobs=2)
+        assert [r.metrics for r in serial.results] == [r.metrics for r in parallel.results]
+        assert [r.detail for r in serial.results] == [r.detail for r in parallel.results]
+        assert format_sweep_summary(serial) == format_sweep_summary(parallel)
+
+    def test_progress_printer_is_deterministic_under_parallelism(self):
+        serial_log, parallel_log = io.StringIO(), io.StringIO()
+        run_sweep(TINY_GRID, jobs=1, progress=SweepProgressPrinter(serial_log))
+        run_sweep(TINY_GRID, jobs=2, progress=SweepProgressPrinter(parallel_log))
+        assert serial_log.getvalue() == parallel_log.getvalue()
+        assert "[  1/3] run" in serial_log.getvalue()
+
+
+class TestStoreIntegration:
+    def test_second_run_is_all_cache_hits(self, tmp_path, monkeypatch):
+        path = tmp_path / "results.jsonl"
+        first = run_sweep(TINY_GRID, store=path)
+        assert first.executed == 3 and first.cached == 0
+
+        # A cache-served sweep must not execute a single simulation.
+        def _boom(spec):
+            raise AssertionError(f"scenario {spec.scenario_id} was re-simulated")
+
+        monkeypatch.setattr(executor_module, "execute_scenario", _boom)
+        second = run_sweep(TINY_GRID, store=path)
+        assert second.executed == 0 and second.cached == 3
+        assert all(r.cached for r in second.results)
+        assert [r.metrics for r in second.results] == [r.metrics for r in first.results]
+
+    def test_force_bypasses_cache(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(TINY_GRID, store=path)
+        forced = run_sweep(TINY_GRID, store=path, force=True)
+        assert forced.executed == 3 and forced.cached == 0
+
+    def test_partial_store_runs_only_misses(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(TINY_GRID, store=path, filter="placement")
+        full = run_sweep(TINY_GRID, store=path)
+        assert full.cached == 2 and full.executed == 1
+
+    def test_store_accepts_instance(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        outcome = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+            store=store,
+        )
+        assert outcome.executed == 1
+        assert len(store) == 1

@@ -1,0 +1,144 @@
+"""Tests for scenario specs, sweep expansion and content hashing."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid
+
+
+class TestScenarioSpec:
+    def test_policy_is_normalised_upper(self):
+        spec = ScenarioSpec(policy=" power ")
+        assert spec.policy == "POWER"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            ScenarioSpec(experiment="nope")
+
+    def test_preference_bounds_enforced(self):
+        with pytest.raises(ValueError, match="preference"):
+            ScenarioSpec(preference=1.5)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            ScenarioSpec(seed=-1)
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            ScenarioSpec(horizon=0.0)
+
+    def test_overrides_accept_mapping_and_sort(self):
+        a = ScenarioSpec(overrides={"b": 2, "a": 1.0})
+        b = ScenarioSpec(overrides=(("a", 1.0), ("b", 2)))
+        assert a.overrides == (("a", 1.0), ("b", 2))
+        assert a.content_hash() == b.content_hash()
+
+    def test_bad_override_value_rejected(self):
+        with pytest.raises(ValueError, match="override"):
+            ScenarioSpec(overrides={"a": [1, 2]})
+
+    def test_scenario_id_mentions_every_axis(self):
+        spec = ScenarioSpec(
+            experiment="adaptive",
+            platform="quick",
+            workload="tiny",
+            policy="GREENPERF",
+            preference=-0.5,
+            seed=3,
+            horizon=1800.0,
+        )
+        for fragment in ("adaptive", "quick", "tiny", "GREENPERF", "p-0.50", "s3", "h1800"):
+            assert fragment in spec.scenario_id
+
+
+class TestContentHash:
+    def test_equal_specs_hash_equal(self):
+        assert ScenarioSpec().content_hash() == ScenarioSpec().content_hash()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"policy": "RANDOM"},
+            {"seed": 1},
+            {"preference": 0.5},
+            {"platform": "quick"},
+            {"workload": "quick"},
+            {"horizon": 100.0},
+            {"overrides": {"task_flop": 1.0e9}},
+        ],
+    )
+    def test_any_field_change_changes_hash(self, changes):
+        assert ScenarioSpec().content_hash() != ScenarioSpec(**changes).content_hash()
+
+    def test_mapping_round_trip_preserves_hash(self):
+        spec = ScenarioSpec(
+            experiment="heterogeneity",
+            platform="types4",
+            policy="RANDOM",
+            seed=7,
+            overrides={"task_flop": 5.0e10},
+        )
+        rebuilt = ScenarioSpec.from_mapping(spec.to_mapping())
+        assert rebuilt == spec
+        assert rebuilt.content_hash() == spec.content_hash()
+
+    def test_hash_is_stable_across_processes(self):
+        """The store key must not depend on Python hash randomisation."""
+        spec = ScenarioSpec(policy="RANDOM", seed=3, overrides={"task_flop": 2.0e10})
+        code = (
+            "from repro.runner.spec import ScenarioSpec; "
+            "print(ScenarioSpec(policy='RANDOM', seed=3, "
+            "overrides={'task_flop': 2.0e10}).content_hash())"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert child.stdout.strip() == spec.content_hash()
+
+
+class TestSweepSpec:
+    def test_expand_is_cartesian_in_axis_order(self):
+        sweep = SweepSpec(
+            base=ScenarioSpec(),
+            axes={"policy": ("POWER", "RANDOM"), "seed": (0, 1)},
+        )
+        assert sweep.size == 4
+        expanded = sweep.expand()
+        assert [(s.policy, s.seed) for s in expanded] == [
+            ("POWER", 0),
+            ("POWER", 1),
+            ("RANDOM", 0),
+            ("RANDOM", 1),
+        ]
+
+    def test_no_axes_expands_to_base(self):
+        base = ScenarioSpec()
+        assert SweepSpec(base=base).expand() == (base,)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            SweepSpec(base=ScenarioSpec(), axes={"nope": (1,)})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            SweepSpec(base=ScenarioSpec(), axes={"seed": ()})
+
+
+class TestExpandGrid:
+    def test_mixes_specs_and_sweeps_and_dedupes(self):
+        base = ScenarioSpec()
+        sweep = SweepSpec(base=base, axes={"seed": (0, 1)})
+        scenarios = expand_grid((sweep, base, base.replace(seed=2)))
+        # base duplicates sweep's seed=0 entry, so it is dropped.
+        assert [s.seed for s in scenarios] == [0, 1, 2]
+
+    def test_single_spec_accepted(self):
+        assert expand_grid(ScenarioSpec()) == (ScenarioSpec(),)
+
+    def test_rejects_foreign_entries(self):
+        with pytest.raises(TypeError):
+            expand_grid(("not a spec",))

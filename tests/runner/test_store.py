@@ -1,0 +1,126 @@
+"""Tests for the JSONL result store and its aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.spec import ScenarioSpec
+from repro.runner.store import ResultStore, ScenarioResult, summarize
+
+
+def make_result(
+    policy: str = "POWER",
+    seed: int = 0,
+    *,
+    makespan: float = 10.0,
+    total_energy: float = 100.0,
+) -> ScenarioResult:
+    return ScenarioResult(
+        spec=ScenarioSpec(policy=policy, seed=seed),
+        metrics={
+            "makespan": makespan,
+            "total_energy": total_energy,
+            "greenperf": total_energy / 10.0,
+        },
+        detail={"tasks_per_node": {"taurus-0": 5}},
+    )
+
+
+class TestScenarioResult:
+    def test_record_round_trip(self):
+        result = make_result()
+        rebuilt = ScenarioResult.from_record(result.to_record())
+        assert rebuilt.spec == result.spec
+        assert rebuilt.metrics == result.metrics
+        assert rebuilt.detail == result.detail
+
+    def test_record_survives_json(self):
+        record = json.loads(json.dumps(make_result().to_record()))
+        rebuilt = ScenarioResult.from_record(record, cached=True)
+        assert rebuilt.cached
+        assert rebuilt.scenario_hash == make_result().scenario_hash
+
+    def test_as_cached_flags_result(self):
+        assert not make_result().cached
+        assert make_result().as_cached().cached
+
+
+class TestResultStore:
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl").load()
+        assert len(store) == 0
+
+    def test_put_then_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl").load()
+        result = make_result()
+        store.put(result)
+        assert result.scenario_hash in store
+        fetched = store.get(result.scenario_hash)
+        assert fetched.metrics == result.metrics
+        assert fetched.cached
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).load().put(make_result())
+        reloaded = ResultStore(path).load()
+        assert len(reloaded) == 1
+        assert reloaded.get(make_result().scenario_hash) is not None
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path).load()
+        store.put(make_result(makespan=10.0))
+        store.put(make_result(makespan=20.0))
+        reloaded = ResultStore(path).load()
+        assert reloaded.get(make_result().scenario_hash).metrics["makespan"] == 20.0
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="corrupt store record"):
+            ResultStore(path).load()
+
+    def test_results_sorted_by_scenario_id(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl").load()
+        store.put(make_result(policy="RANDOM"))
+        store.put(make_result(policy="POWER"))
+        assert [r.spec.policy for r in store.results()] == ["POWER", "RANDOM"]
+
+
+class TestSummarize:
+    def test_groups_and_percentiles(self):
+        results = [
+            make_result(seed=0, makespan=10.0, total_energy=100.0),
+            make_result(seed=1, makespan=20.0, total_energy=200.0),
+            make_result(policy="RANDOM", makespan=30.0, total_energy=300.0),
+        ]
+        rows = summarize(results, group_by=("policy",), metrics=("makespan",))
+        assert [row["policy"] for row in rows] == ["POWER", "RANDOM"]
+        power = rows[0]
+        assert power["count"] == 2
+        assert power["makespan_mean"] == pytest.approx(15.0)
+        assert power["makespan_p50"] == pytest.approx(15.0)
+        assert rows[1]["makespan_p95"] == pytest.approx(30.0)
+
+    def test_rows_sorted_regardless_of_input_order(self):
+        forward = [make_result("POWER"), make_result("RANDOM")]
+        rows_a = summarize(forward, group_by=("policy",))
+        rows_b = summarize(list(reversed(forward)), group_by=("policy",))
+        assert rows_a == rows_b
+
+    def test_numeric_group_keys_sort_numerically(self):
+        results = [
+            ScenarioResult(
+                spec=ScenarioSpec(policy="GREEN_SCORE", preference=p),
+                metrics={"makespan": 1.0},
+            )
+            for p in (0.5, -1.0, 0.0, -0.25)
+        ]
+        rows = summarize(results, group_by=("preference",), metrics=("makespan",))
+        assert [row["preference"] for row in rows] == [-1.0, -0.25, 0.0, 0.5]
+
+    def test_missing_metric_is_skipped(self):
+        rows = summarize([make_result()], metrics=("does_not_exist",))
+        assert "does_not_exist_mean" not in rows[0]

@@ -12,6 +12,23 @@ class TestParser:
         assert args.command == "table2"
         assert args.quick
 
+    def test_seed_flag_defaults_to_zero(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.seed == 0
+        args = parser.parse_args(["fig6", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_sweep_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--grid", "smoke", "--jobs", "4", "--store", "x.jsonl", "--force"]
+        )
+        assert args.grid == "smoke"
+        assert args.jobs == 4
+        assert args.store == "x.jsonl"
+        assert args.force
+
     def test_command_is_required(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -78,3 +95,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 9" in out
         assert "Injected events" in out
+
+    def test_seed_moves_random_distribution(self, capsys):
+        assert main(["fig4", "--quick", "--seed", "0"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["fig4", "--quick", "--seed", "0"]) == 0
+        repeat = capsys.readouterr().out
+        assert main(["fig4", "--quick", "--seed", "3"]) == 0
+        reseeded = capsys.readouterr().out
+        assert baseline == repeat
+        assert baseline != reseeded
+
+
+class TestSweepCommand:
+    def test_list_grids(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "default" in out and "smoke" in out
+
+    def test_smoke_grid_runs_and_summarises(self, capsys):
+        assert main(["sweep", "--grid", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios — 3 executed, 0 cached" in out
+        assert "run  placement/tiny/tiny/POWER" in out
+        assert "greenperf p95" in out
+
+    def test_store_makes_second_run_all_hits(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios — 0 executed, 3 cached" in out
+        assert "hit" in out and "] run" not in out
+
+    def test_filter_restricts_grid(self, capsys):
+        assert main(["sweep", "--grid", "smoke", "--filter", "heterogeneity"]) == 0
+        out = capsys.readouterr().out
+        assert "1 scenarios — 1 executed" in out
+
+    def test_filter_without_match_reports_it(self, capsys):
+        assert main(["sweep", "--grid", "smoke", "--filter", "nope-nothing"]) == 0
+        out = capsys.readouterr().out
+        assert "no scenario matches" in out
+
+    def test_unknown_grid_exits_with_clean_error(self, capsys):
+        assert main(["sweep", "--grid", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown grid 'nope'" in err
+        assert "Traceback" not in err
