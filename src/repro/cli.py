@@ -13,6 +13,9 @@ Usage (after ``pip install -e .``)::
     repro table1                 # the experimental infrastructure
     repro table3                 # the simulated cluster specs
     repro sweep                  # parallel scenario sweep with cached store
+    repro trace convert ...      # real SWF log -> replayable CSV trace
+    repro trace stats ...        # workload statistics of a trace
+    repro trace inspect ...      # header directives + leading records
 
 (``python -m repro …`` works identically without installing.)
 
@@ -26,12 +29,24 @@ base random seed of any stochastic component.
 results in a JSONL file (a second run over the same grid is served
 entirely from cache), ``--force`` bypasses the cache, and ``--filter``
 restricts the grid to scenarios whose id contains a substring.
+``repro sweep --trace FILE`` replaces the named grid with a
+platforms × policies grid replaying a converted trace (the trace
+content hash keys the store, so edits invalidate exactly the affected
+entries).
+
+``repro trace`` is the real-log pipeline (``docs/TRACE_FORMAT.md``):
+``convert`` parses a Standard Workload Format log, maps jobs onto tasks
+and writes a CSV trace (with ``--window``, ``--sample-users``,
+``--scale-arrivals``, ``--scale-load`` and ``--truncate`` transforms);
+``stats`` summarises a trace; ``inspect`` shows raw header directives
+and leading records.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.experiments.adaptive import adaptive_config_for, run_adaptive_experiment
@@ -51,8 +66,22 @@ from repro.experiments.reporting import (
     format_task_distribution,
 )
 from repro.runner.executor import run_scenarios
-from repro.runner.grids import grid, named_grids
+from repro.runner.grids import grid, named_grids, trace_grid
 from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
+from repro.util.tables import render_table
+from repro.workload.ingest import (
+    SampleUsers,
+    ScaleArrivals,
+    ScaleLoad,
+    SWFTraceMap,
+    TimeWindow,
+    Truncate,
+    load_swf_trace,
+    parse_swf,
+    read_swf_header,
+)
+from repro.workload.ingest.swf import SWF_FIELDS
+from repro.workload.traces import load_trace, save_trace
 
 def _placement_config(args: argparse.Namespace) -> PlacementExperimentConfig:
     scale = "quick" if args.quick else "paper"
@@ -134,12 +163,20 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         lines = ["Available grids:"]
         for name in named_grids():
             lines.append(f"  {name:<16}{len(grid(name))} scenarios")
+        lines.append("  --trace FILE    platforms x policies replay of a CSV trace")
         return "\n".join(lines)
-    scenarios = grid(args.grid)
+    if args.trace is not None:
+        if args.grid is not None:
+            raise ValueError("--grid and --trace are mutually exclusive")
+        scenarios = trace_grid(args.trace)
+        grid_name = f"trace:{Path(args.trace).name}"
+    else:
+        grid_name = args.grid if args.grid is not None else "default"
+        scenarios = grid(grid_name)
     if args.filter:
         scenarios = tuple(s for s in scenarios if args.filter in s.scenario_id)
     if not scenarios:
-        return f"grid {args.grid!r}: no scenario matches filter {args.filter!r}"
+        return f"grid {grid_name!r}: no scenario matches filter {args.filter!r}"
     printer = SweepProgressPrinter()
     outcome = run_scenarios(
         scenarios,
@@ -148,7 +185,168 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         force=args.force,
         progress=printer,
     )
-    return format_sweep_summary(outcome, title=f"Sweep {args.grid!r}")
+    return format_sweep_summary(outcome, title=f"Sweep {grid_name!r}")
+
+
+# -- repro trace ------------------------------------------------------------------------
+
+
+def _trace_format(path: str, explicit: str) -> str:
+    """Resolve ``--format auto`` from the file extension."""
+    if explicit != "auto":
+        return explicit
+    return "swf" if Path(path).suffix.lower() == ".swf" else "csv"
+
+
+def _trace_mapping(args: argparse.Namespace) -> SWFTraceMap:
+    return SWFTraceMap(
+        flops_per_core=args.flops_per_core,
+        client_by=args.client_by,
+        service_by=args.service_by,
+    )
+
+
+def _trace_transforms(args: argparse.Namespace) -> list:
+    """The transform pipeline, in fixed window→sample→scale→truncate order."""
+    transforms: list = []
+    if args.window is not None:
+        start, end = args.window
+        transforms.append(TimeWindow(start=start, end=end))
+    if args.sample_users is not None:
+        transforms.append(SampleUsers(args.sample_users, seed=args.sample_seed))
+    if args.scale_arrivals is not None:
+        transforms.append(ScaleArrivals(args.scale_arrivals))
+    if args.scale_load is not None:
+        transforms.append(ScaleLoad(args.scale_load))
+    if args.truncate is not None:
+        transforms.append(Truncate(args.truncate))
+    return transforms
+
+
+def _load_tasks(path: str, fmt: str, mapping: SWFTraceMap | None = None):
+    """A trace file as a task tuple (plus skipped-job count for SWF)."""
+    try:
+        if fmt == "swf":
+            skipped: list = []
+            tasks = load_swf_trace(path, mapping, skipped=skipped)
+            return tasks, len(skipped)
+        return load_trace(path), 0
+    except OSError as error:
+        raise ValueError(f"cannot read trace file: {error}") from None
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> str:
+    skipped: list = []
+    try:
+        tasks = load_swf_trace(
+            args.input,
+            _trace_mapping(args),
+            transforms=_trace_transforms(args),
+            skipped=skipped,
+        )
+    except OSError as error:
+        raise ValueError(f"cannot read {args.input!r}: {error}") from None
+    if not tasks:
+        raise ValueError(
+            f"{args.input}: no replayable job survived mapping and transforms "
+            f"({len(skipped)} job(s) without runtime/processors were skipped)"
+        )
+    try:
+        save_trace(args.output, tasks)
+    except OSError as error:
+        raise ValueError(f"cannot write {args.output!r}: {error}") from None
+    span = tasks[-1].arrival_time - tasks[0].arrival_time
+    return (
+        f"converted {args.input} -> {args.output}: {len(tasks)} task(s), "
+        f"{len(skipped)} unplayable job(s) skipped, "
+        f"time span {span:.0f} s"
+    )
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> str:
+    fmt = _trace_format(args.file, args.format)
+    tasks, skipped = _load_tasks(args.file, fmt, _trace_mapping(args))
+    if not tasks:
+        return f"{args.file}: empty trace (0 tasks)"
+    arrivals = [task.arrival_time for task in tasks]
+    flops = [task.flop for task in tasks]
+    span = arrivals[-1] - arrivals[0]
+    rate = (len(tasks) - 1) / span if span > 0 else float("inf")
+    rows = [
+        ("tasks", f"{len(tasks)}"),
+        ("clients", f"{len({task.client for task in tasks})}"),
+        ("services", f"{len({task.service for task in tasks})}"),
+        ("time span (s)", f"{span:.1f}"),
+        ("mean arrival rate (req/s)", f"{rate:.3f}" if span > 0 else "inf"),
+        ("total flop", f"{sum(flops):.3e}"),
+        ("mean flop/task", f"{sum(flops) / len(flops):.3e}"),
+        ("min/max flop", f"{min(flops):.3e} / {max(flops):.3e}"),
+        (
+            "preference range",
+            f"[{min(task.user_preference for task in tasks):+.2f}, "
+            f"{max(task.user_preference for task in tasks):+.2f}]",
+        ),
+    ]
+    if fmt == "swf":
+        rows.append(("unplayable jobs skipped", f"{skipped}"))
+    title = f"Trace statistics — {args.file} ({fmt})"
+    return title + "\n" + render_table(("metric", "value"), rows)
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> str:
+    fmt = _trace_format(args.file, args.format)
+    lines = [f"Trace — {args.file} ({fmt})"]
+    if fmt == "swf":
+        try:
+            header = read_swf_header(args.file)
+            jobs = []
+            for job in parse_swf(args.file):
+                if len(jobs) >= max(0, args.jobs):
+                    break
+                jobs.append(job)
+        except OSError as error:
+            raise ValueError(f"cannot read trace file: {error}") from None
+        if header:
+            lines.append("Header directives:")
+            lines.extend(f"  {key}: {value}" for key, value in header.items())
+        else:
+            lines.append("Header directives: (none)")
+        lines.append(f"First {len(jobs)} job record(s):")
+        columns = ("job_id", "submit_time", "run_time", "allocated_processors",
+                   "user_id", "queue", "status")
+
+        def _cell(value) -> str:
+            # ints print exactly; floats keep full useful precision so large
+            # submit times / job ids never collapse into scientific notation.
+            if value is None:
+                return "-"
+            return str(value) if isinstance(value, int) else format(value, ".10g")
+
+        rows = [
+            tuple(_cell(getattr(job, column)) for column in columns) for job in jobs
+        ]
+        lines.append(render_table(columns, rows))
+        lines.append(f"(full records carry {len(SWF_FIELDS)} fields)")
+    else:
+        tasks, _ = _load_tasks(args.file, fmt)
+        shown = tasks[: args.jobs]
+        lines.append(f"First {len(shown)} of {len(tasks)} task(s):")
+        rows = [
+            (
+                f"{task.arrival_time:g}",
+                f"{task.flop:.3e}",
+                task.client,
+                f"{task.user_preference:+.2f}",
+                task.service,
+            )
+            for task in shown
+        ]
+        lines.append(
+            render_table(
+                ("arrival_time", "flop", "client", "preference", "service"), rows
+            )
+        )
+    return "\n".join(lines)
 
 
 _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
@@ -192,8 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--grid",
-        default="default",
+        default=None,
         help=f"named grid to run (default: 'default'; one of {', '.join(named_grids())})",
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay a CSV trace (from 'repro trace convert') as a "
+        "platforms x policies grid instead of a named grid",
     )
     sweep.add_argument(
         "--jobs",
@@ -224,6 +429,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the available grids and their sizes, then exit",
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    trace = subparsers.add_parser(
+        "trace", help="ingest, inspect and summarise workload trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_mapping_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--flops-per-core",
+            type=float,
+            default=1.0e9,
+            help="node-speed anchor converting SWF core-seconds to FLOP "
+            "(default: 1e9)",
+        )
+        sub.add_argument(
+            "--client-by",
+            choices=("user", "group"),
+            default="user",
+            help="SWF identity field naming the submitting client (default: user)",
+        )
+        sub.add_argument(
+            "--service-by",
+            choices=("queue", "partition"),
+            default="queue",
+            help="SWF field naming the requested service (default: queue)",
+        )
+
+    convert = trace_sub.add_parser(
+        "convert",
+        help="convert a Standard Workload Format log into a CSV trace",
+        description="Parse an SWF log, map jobs onto simulation tasks and "
+        "write a CSV trace.  Transforms apply in the fixed order "
+        "window -> sample-users -> scale-arrivals -> scale-load -> truncate.",
+    )
+    convert.add_argument("input", help="SWF log file to parse")
+    convert.add_argument("output", help="CSV trace file to write")
+    _add_mapping_options(convert)
+    convert.add_argument(
+        "--window",
+        nargs=2,
+        type=float,
+        default=None,
+        metavar=("START", "END"),
+        help="keep jobs arriving in [START, END) seconds, re-anchored to t=0",
+    )
+    convert.add_argument(
+        "--sample-users",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="keep a deterministic fraction of clients (whole users at a time)",
+    )
+    convert.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        help="seed of the user-sampling hash (default: 0)",
+    )
+    convert.add_argument(
+        "--scale-arrivals",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="multiply arrival times by FACTOR (<1 compresses, >1 stretches)",
+    )
+    convert.add_argument(
+        "--scale-load",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="multiply each task's FLOP cost by FACTOR",
+    )
+    convert.add_argument(
+        "--truncate",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help="keep only the first COUNT tasks",
+    )
+    convert.set_defaults(handler=_cmd_trace_convert)
+
+    stats = trace_sub.add_parser(
+        "stats", help="summarise the workload a trace file describes"
+    )
+    stats.add_argument("file", help="trace file (.swf or CSV)")
+    stats.add_argument(
+        "--format",
+        choices=("auto", "swf", "csv"),
+        default="auto",
+        help="trace format (default: by file extension)",
+    )
+    _add_mapping_options(stats)
+    stats.set_defaults(handler=_cmd_trace_stats)
+
+    inspect = trace_sub.add_parser(
+        "inspect", help="show header directives and leading trace records"
+    )
+    inspect.add_argument("file", help="trace file (.swf or CSV)")
+    inspect.add_argument(
+        "--format",
+        choices=("auto", "swf", "csv"),
+        default="auto",
+        help="trace format (default: by file extension)",
+    )
+    inspect.add_argument(
+        "--jobs",
+        type=int,
+        default=10,
+        help="number of leading records to show (default: 10)",
+    )
+    inspect.set_defaults(handler=_cmd_trace_inspect)
     return parser
 
 

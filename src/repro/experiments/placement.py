@@ -47,7 +47,13 @@ def run_placement_experiment(
     scheduler = policy_by_name(policy, **policy_kwargs)
 
     platform = config.build_platform()
-    master, seds = build_hierarchy(platform, scheduler=scheduler)
+    tasks = config.build_workload(platform.total_cores).generate()
+    # Every SeD offers every service the workload requests: synthetic
+    # workloads keep the paper's single "cpu-burn" service, while replayed
+    # traces (whose tasks carry queue/partition-derived service names)
+    # stay schedulable instead of being rejected wholesale.
+    services = sorted({task.service for task in tasks}) or ["cpu-burn"]
+    master, seds = build_hierarchy(platform, scheduler=scheduler, services=services)
     simulation = MiddlewareSimulation(
         platform,
         master,
@@ -55,8 +61,7 @@ def run_placement_experiment(
         sample_period=config.sample_period,
         policy_name=scheduler.name,
     )
-    workload = config.build_workload(platform.total_cores)
-    simulation.submit_workload(workload.generate())
+    simulation.submit_workload(tasks)
     return simulation.run()
 
 

@@ -34,7 +34,8 @@ from repro.infrastructure.platform import (
 )
 from repro.runner.spec import ScenarioSpec, SweepSpec
 from repro.util.validation import ensure_positive
-from repro.workload.generator import BurstThenContinuousWorkload
+from repro.workload.generator import BurstThenContinuousWorkload, WorkloadGenerator
+from repro.workload.traces import TraceWorkload
 
 #: Per-task cost calibrated so one task lasts ≈ 22 s on a Taurus core: the
 #: favoured cluster can then absorb the 2 req/s continuous phase on its own,
@@ -56,6 +57,11 @@ class PlacementExperimentConfig:
     The defaults reproduce the paper's setup; tests shrink
     ``nodes_per_cluster``, ``requests_per_core`` and ``task_flop`` to keep
     runtimes small while preserving every code path.
+
+    When ``trace_path`` is set, the synthetic workload parameters
+    (``requests_per_core``, ``task_flop``, ``continuous_rate``,
+    ``burst_size``) are ignored and :meth:`build_workload` replays the
+    CSV trace instead (see ``docs/TRACE_FORMAT.md``).
     """
 
     nodes_per_cluster: int = 4
@@ -65,6 +71,7 @@ class PlacementExperimentConfig:
     burst_size: int | None = None
     random_seed: int = 0
     sample_period: float = 1.0
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.nodes_per_cluster < 1:
@@ -95,8 +102,16 @@ class PlacementExperimentConfig:
             return min(self.burst_size, self.total_tasks(total_cores))
         return min(total_cores, self.total_tasks(total_cores))
 
-    def build_workload(self, total_cores: int) -> BurstThenContinuousWorkload:
-        """The burst + continuous workload sized for ``total_cores``."""
+    def build_workload(self, total_cores: int) -> WorkloadGenerator:
+        """The workload of the experiment, sized for ``total_cores``.
+
+        The default is the paper's burst + continuous pattern; a config
+        with ``trace_path`` replays that trace instead (lazily — the file
+        is only read when the workload is generated, typically inside a
+        sweep worker process).
+        """
+        if self.trace_path is not None:
+            return TraceWorkload.from_file(self.trace_path, lazy=True)
         total = self.total_tasks(total_cores)
         return BurstThenContinuousWorkload(
             total_tasks=total,
@@ -155,6 +170,7 @@ def placement_config_for(
     workload: str = "paper",
     *,
     seed: int = 0,
+    trace: str | None = None,
     overrides: Mapping[str, object] | None = None,
 ) -> PlacementExperimentConfig:
     """Build a :class:`PlacementExperimentConfig` from preset names.
@@ -165,8 +181,23 @@ def placement_config_for(
     and ``overrides`` replaces individual config fields — this is how
     :class:`~repro.runner.spec.ScenarioSpec` values resolve to runnable
     configurations.
+
+    The special preset ``workload="trace"`` replays the CSV trace file
+    named by ``trace`` instead of a synthetic pattern (and is the only
+    workload that accepts ``trace``).
+
+    >>> placement_config_for("quick", "quick").nodes_per_cluster
+    1
     """
-    params: dict[str, object] = dict(_preset(PLACEMENT_WORKLOAD_PRESETS, workload, "workload"))
+    if (trace is not None) != (workload == "trace"):
+        raise ValueError(
+            "workload='trace' and trace=<path> must be given together; "
+            f"got workload={workload!r}, trace={trace!r}"
+        )
+    if workload == "trace":
+        params: dict[str, object] = {"trace_path": str(trace)}
+    else:
+        params = dict(_preset(PLACEMENT_WORKLOAD_PRESETS, workload, "workload"))
     params["nodes_per_cluster"] = _preset(PLATFORM_PRESETS, platform, "platform")
     if overrides:
         params.update(overrides)

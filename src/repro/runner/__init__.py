@@ -21,9 +21,9 @@ from repro.runner.executor import (
     run_scenarios,
     run_sweep,
 )
-from repro.runner.grids import grid, named_grids
+from repro.runner.grids import grid, named_grids, trace_grid
 from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
-from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid
+from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid, trace_file_hash
 from repro.runner.store import ResultStore, ScenarioResult, summarize
 
 __all__ = [
@@ -41,4 +41,6 @@ __all__ = [
     "format_sweep_summary",
     "grid",
     "named_grids",
+    "trace_grid",
+    "trace_file_hash",
 ]

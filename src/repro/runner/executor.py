@@ -70,6 +70,7 @@ def _execute_placement(spec: ScenarioSpec) -> ScenarioResult:
         platform=spec.platform,
         workload=spec.workload,
         seed=spec.seed,
+        trace=spec.trace,
         overrides=dict(spec.overrides),
     )
     policy_kwargs = {}
@@ -101,7 +102,7 @@ def _execute_heterogeneity(spec: ScenarioSpec) -> ScenarioResult:
         run_heterogeneity_point,
     )
 
-    _reject_unused(spec, preference=0.0, horizon=None)
+    _reject_unused(spec, preference=0.0, horizon=None, trace=None)
     if spec.policy != "RANDOM":
         _reject_unused(spec, seed=0)
     if not spec.platform.startswith("types"):
@@ -131,7 +132,7 @@ def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
 
     # The Figure 9 scenario always schedules with GreenPerf and has no
     # stochastic component.
-    _reject_unused(spec, policy="GREENPERF", preference=0.0, seed=0)
+    _reject_unused(spec, policy="GREENPERF", preference=0.0, seed=0, trace=None)
     config = adaptive_config_for(
         platform=spec.platform,
         workload=spec.workload,

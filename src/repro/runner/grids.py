@@ -9,7 +9,7 @@ simulation code.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid
 
@@ -104,6 +104,32 @@ def _preferences_grid() -> tuple[ScenarioSpec, ...]:
     )
     return expand_grid(
         SweepSpec(base, {"preference": (-1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0)})
+    )
+
+
+def trace_grid(
+    trace: str,
+    *,
+    platforms: Sequence[str] = ("quick", "half"),
+    policies: Sequence[str] = ("POWER", "PERFORMANCE"),
+) -> tuple[ScenarioSpec, ...]:
+    """A placement grid replaying one trace file: platforms × policies.
+
+    This is the grid behind ``repro sweep --trace``: the same recorded
+    request stream (converted from a real log by ``repro trace convert``)
+    placed by each policy on each platform size.  The defaults form a
+    2×2 grid; the trace file's content hash is folded into every
+    scenario hash, so a store built from one trace stays correct when
+    the file is edited.
+    """
+    base = ScenarioSpec(
+        experiment="placement",
+        platform=platforms[0],
+        workload="trace",
+        trace=trace,
+    )
+    return expand_grid(
+        SweepSpec(base, {"platform": tuple(platforms), "policy": tuple(policies)})
     )
 
 

@@ -18,6 +18,7 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence, Union
 
 #: Bump when the meaning of a spec field changes — including edits to the
@@ -60,6 +61,29 @@ def _normalize_overrides(overrides) -> tuple[tuple[str, Scalar], ...]:
     return tuple(normalized)
 
 
+def trace_file_hash(path: str | Path) -> str:
+    """SHA-256 of a trace file's *content* (the trace part of a spec hash).
+
+    Hashing the bytes rather than the path makes trace identity
+    content-addressed: moving or renaming a trace file keeps its cached
+    results valid, while editing a single row invalidates them.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "t.csv")
+    >>> _ = open(path, "w").write("arrival_time,flop\\n")
+    >>> len(trace_file_hash(path))
+    64
+    """
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as error:
+        raise ValueError(f"cannot hash trace file {path}: {error}") from None
+    return digest.hexdigest()
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One cell of an evaluation grid.
@@ -89,6 +113,25 @@ class ScenarioSpec:
         Extra experiment parameters escaping the presets, as a key-sorted
         tuple of ``(name, scalar)`` pairs (a mapping is accepted and
         normalised).
+    trace:
+        Path of a CSV trace file replayed as the scenario workload
+        (requires ``workload="trace"``); see ``docs/TRACE_FORMAT.md``.
+    trace_hash:
+        Content hash of the trace file.  Computed from the file when
+        omitted; pass it explicitly (as :meth:`from_mapping` does when
+        rebuilding store records) to identify a trace whose file is no
+        longer present.
+
+    A trace-driven scenario hashes by trace *content*, not path:
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "t.csv")
+    >>> _ = open(path, "w").write(
+    ...     "arrival_time,flop,client,user_preference,service\\n"
+    ...     "0.0,1e8,c-0,0.0,cpu-burn\\n")
+    >>> spec = ScenarioSpec(workload="trace", trace=path)
+    >>> spec.trace_hash == trace_file_hash(path)
+    True
     """
 
     experiment: str = "placement"
@@ -99,6 +142,8 @@ class ScenarioSpec:
     seed: int = 0
     horizon: float | None = None
     overrides: tuple[tuple[str, Scalar], ...] = ()
+    trace: str | None = None
+    trace_hash: str | None = None
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENTS:
@@ -107,6 +152,17 @@ class ScenarioSpec:
             )
         if not self.platform or not self.workload:
             raise ValueError("platform and workload preset names must be non-empty")
+        if (self.trace is not None) != (self.workload == "trace"):
+            raise ValueError(
+                "trace scenarios need both workload='trace' and trace=<path>; "
+                f"got workload={self.workload!r}, trace={self.trace!r}"
+            )
+        if self.trace is not None:
+            object.__setattr__(self, "trace", str(self.trace))
+            if self.trace_hash is None:
+                object.__setattr__(self, "trace_hash", trace_file_hash(self.trace))
+        elif self.trace_hash is not None:
+            raise ValueError("trace_hash is meaningless without a trace")
         if not self.policy or not self.policy.strip():
             raise ValueError("policy must be a non-empty name")
         object.__setattr__(self, "policy", self.policy.strip().upper())
@@ -136,12 +192,18 @@ class ScenarioSpec:
         ]
         if self.horizon is not None:
             parts.append(f"h{self.horizon:g}")
+        if self.trace is not None:
+            parts.append(f"trace={Path(self.trace).name}")
         parts.extend(f"{key}={value}" for key, value in self.overrides)
         return "/".join(parts)
 
     def to_mapping(self) -> dict[str, object]:
-        """JSON-compatible representation (inverse of :meth:`from_mapping`)."""
-        return {
+        """JSON-compatible representation (inverse of :meth:`from_mapping`).
+
+        Trace fields are only present when set, so records written before
+        trace support round-trip unchanged.
+        """
+        mapping: dict[str, object] = {
             "experiment": self.experiment,
             "platform": self.platform,
             "workload": self.workload,
@@ -151,6 +213,10 @@ class ScenarioSpec:
             "horizon": self.horizon,
             "overrides": dict(self.overrides),
         }
+        if self.trace is not None:
+            mapping["trace"] = self.trace
+            mapping["trace_hash"] = self.trace_hash
+        return mapping
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, object]) -> "ScenarioSpec":
@@ -163,13 +229,26 @@ class ScenarioSpec:
         The hash covers every field plus :data:`SPEC_VERSION`, through a
         canonical (key-sorted, minimal-separator) JSON encoding, so it is
         stable across processes, platforms and Python hash randomisation.
+        For trace scenarios the trace participates by *content hash*, not
+        by path — the store stays correct when a trace file is edited
+        (miss) or merely moved (hit).
         """
         payload = {"version": SPEC_VERSION, **self.to_mapping()}
+        payload.pop("trace", None)  # identity is the content, not the path
         encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
     def replace(self, **changes) -> "ScenarioSpec":
-        """A copy of the spec with ``changes`` applied."""
+        """A copy of the spec with ``changes`` applied.
+
+        Changing ``trace`` without an explicit ``trace_hash`` re-hashes
+        the new file instead of carrying the old content hash over.
+
+        >>> ScenarioSpec(policy="POWER").replace(policy="RANDOM").policy
+        'RANDOM'
+        """
+        if "trace" in changes and "trace_hash" not in changes:
+            changes["trace_hash"] = None
         return dataclasses.replace(self, **changes)
 
 
@@ -183,6 +262,15 @@ class SweepSpec:
     ``axes`` maps :class:`ScenarioSpec` field names to the values each
     takes; :meth:`expand` yields the cartesian product in axis order (last
     axis fastest), which fixes the canonical scenario order of a sweep.
+
+    >>> sweep = SweepSpec(
+    ...     base=ScenarioSpec(experiment="placement", policy="RANDOM"),
+    ...     axes={"seed": (0, 1, 2)},
+    ... )
+    >>> sweep.size
+    3
+    >>> [spec.seed for spec in sweep.expand()]
+    [0, 1, 2]
     """
 
     base: ScenarioSpec
@@ -237,6 +325,11 @@ def expand_grid(grid: GridLike) -> tuple[ScenarioSpec, ...]:
     any iterable mixing both.  Duplicates (same content hash) keep their
     first occurrence, so composed grids stay stable under re-ordering of
     later sweeps.
+
+    >>> base = ScenarioSpec(policy="POWER")
+    >>> grid = expand_grid((base, SweepSpec(base, {"policy": ("POWER", "RANDOM")})))
+    >>> [spec.policy for spec in grid]  # duplicate POWER collapsed
+    ['POWER', 'RANDOM']
     """
     if isinstance(grid, (ScenarioSpec, SweepSpec)):
         grid = (grid,)

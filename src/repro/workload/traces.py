@@ -7,25 +7,43 @@ PERFORMANCE fairly).  A trace is a plain CSV file with one row per task:
     arrival_time,flop,client,user_preference,service
 
 :func:`save_trace` / :func:`load_trace` round-trip task sequences through
-that format, and :class:`TraceWorkload` adapts a loaded trace to the
+that format — loading *sorts* rows by ``(arrival_time, task_id)``, so a
+trace file does not need to be pre-sorted — and :class:`TraceWorkload`
+adapts a loaded trace (or any task iterable, lazily) to the
 :class:`~repro.workload.generator.WorkloadGenerator` interface.
+
+Real logs enter this format through :mod:`repro.workload.ingest`
+(``repro trace convert``); the CSV schema is specified in
+``docs/TRACE_FORMAT.md``.
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.simulation.task import Task
 from repro.workload.generator import WorkloadGenerator
 
 _FIELDS = ("arrival_time", "flop", "client", "user_preference", "service")
 
+_FLOAT_FIELDS = ("arrival_time", "flop", "user_preference")
 
-def save_trace(path: str | Path, tasks: Sequence[Task]) -> None:
-    """Write ``tasks`` to ``path`` as a CSV trace."""
+
+def save_trace(path: str | Path, tasks: Iterable[Task]) -> None:
+    """Write ``tasks`` to ``path`` as a CSV trace.
+
+    Floats are written with ``repr`` so a round-trip through
+    :func:`load_trace` is bit-exact.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "trace.csv")
+    >>> save_trace(path, [Task(arrival_time=1.5, flop=2e8, client="c-1")])
+    >>> print(open(path).read().strip())
+    arrival_time,flop,client,user_preference,service
+    1.5,200000000.0,c-1,0.0,cpu-burn
+    """
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(_FIELDS)
@@ -41,40 +59,142 @@ def save_trace(path: str | Path, tasks: Sequence[Task]) -> None:
             )
 
 
+def _trace_error(path: str | Path, line: int, message: str) -> ValueError:
+    return ValueError(f"trace file {path}:{line}: {message}")
+
+
 def load_trace(path: str | Path) -> tuple[Task, ...]:
-    """Read a CSV trace written by :func:`save_trace` back into tasks."""
+    """Read a CSV trace written by :func:`save_trace` back into tasks.
+
+    The returned tuple is sorted by ``(arrival_time, task_id)`` — the
+    canonical workload order — regardless of row order in the file.
+    Extra columns beyond the five the format defines are tolerated (and
+    ignored) as long as the header names them; a *row* that is wider or
+    narrower than its header, a duplicated header column, and any
+    non-numeric value in a float field all raise :class:`ValueError`
+    carrying ``path:line`` context.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "trace.csv")
+    >>> save_trace(path, [Task(arrival_time=2.0), Task(arrival_time=1.0)])
+    >>> [task.arrival_time for task in load_trace(path)]  # sort-on-load
+    [1.0, 2.0]
+    """
     tasks: list[Task] = []
     with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        missing = set(_FIELDS) - set(reader.fieldnames or ())
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise _trace_error(path, 1, "empty file (expected a header row)")
+        duplicates = {name for name in header if header.count(name) > 1}
+        if duplicates:
+            raise _trace_error(
+                path, 1, f"duplicate header columns: {sorted(duplicates)}"
+            )
+        missing = set(_FIELDS) - set(header)
         if missing:
-            raise ValueError(f"trace file {path} is missing columns: {sorted(missing)}")
-        for row in reader:
-            tasks.append(
-                Task(
-                    flop=float(row["flop"]),
-                    arrival_time=float(row["arrival_time"]),
+            raise ValueError(
+                f"trace file {path} is missing columns: {sorted(missing)}"
+            )
+        for line_number, cells in enumerate(reader, start=2):
+            if not cells:
+                continue  # blank line
+            if len(cells) != len(header):
+                raise _trace_error(
+                    path,
+                    line_number,
+                    f"row has {len(cells)} cells, header has {len(header)}",
+                )
+            row = dict(zip(header, cells))
+            values: dict[str, float] = {}
+            for name in _FLOAT_FIELDS:
+                try:
+                    values[name] = float(row[name])
+                except ValueError:
+                    raise _trace_error(
+                        path,
+                        line_number,
+                        f"column {name!r} is not a number (got {row[name]!r})",
+                    ) from None
+            try:
+                task = Task(
+                    flop=values["flop"],
+                    arrival_time=values["arrival_time"],
                     client=row["client"],
-                    user_preference=float(row["user_preference"]),
+                    user_preference=values["user_preference"],
                     service=row["service"],
                 )
-            )
+            except ValueError as error:
+                raise _trace_error(path, line_number, str(error)) from None
+            tasks.append(task)
     tasks.sort(key=lambda task: (task.arrival_time, task.task_id))
     return tuple(tasks)
 
 
-@dataclass
 class TraceWorkload(WorkloadGenerator):
-    """A workload backed by an already-materialised task sequence."""
+    """A workload backed by a task sequence, materialised at most once.
 
-    tasks: Sequence[Task]
+    Construct it from an in-memory sequence, from any (possibly lazy)
+    iterable, or from a loader callable that is only invoked on the first
+    :meth:`generate` — which is how trace-driven scenarios defer file I/O
+    until a worker process actually simulates them.
+
+    >>> workload = TraceWorkload(tasks=[Task(arrival_time=3.0), Task(arrival_time=1.0)])
+    >>> [task.arrival_time for task in workload.generate()]
+    [1.0, 3.0]
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task] | None = None,
+        *,
+        loader: Callable[[], Iterable[Task]] | None = None,
+    ) -> None:
+        if (tasks is None) == (loader is None):
+            raise ValueError("provide exactly one of tasks= or loader=")
+        self.tasks = tasks
+        self._loader = loader
+        self._materialised: tuple[Task, ...] | None = None
 
     def generate(self) -> Sequence[Task]:
-        return tuple(
-            sorted(self.tasks, key=lambda task: (task.arrival_time, task.task_id))
-        )
+        """The trace as a tuple sorted by ``(arrival_time, task_id)``.
+
+        The first call materialises (and, for lazy construction, loads)
+        the tasks; the sorted tuple is cached for subsequent calls.
+        """
+        if self._materialised is None:
+            source = self.tasks if self.tasks is not None else self._loader()
+            self._materialised = tuple(
+                sorted(source, key=lambda task: (task.arrival_time, task.task_id))
+            )
+            self.tasks = self._materialised
+        return self._materialised
 
     @classmethod
-    def from_file(cls, path: str | Path) -> "TraceWorkload":
-        """Load a trace file into a workload."""
+    def from_file(cls, path: str | Path, *, lazy: bool = False) -> "TraceWorkload":
+        """Load a CSV trace file into a workload.
+
+        ``lazy=True`` defers reading (and any resulting :class:`ValueError`)
+        to the first :meth:`generate` call.
+
+        >>> import tempfile, os
+        >>> path = os.path.join(tempfile.mkdtemp(), "trace.csv")
+        >>> save_trace(path, [Task(flop=5e7)])
+        >>> [task.flop for task in TraceWorkload.from_file(path)]
+        [50000000.0]
+        """
+        if lazy:
+            return cls(loader=lambda: load_trace(path))
         return cls(tasks=load_trace(path))
+
+    @classmethod
+    def from_iter(cls, tasks: Iterable[Task]) -> "TraceWorkload":
+        """Wrap a (possibly lazy) task iterable — e.g. a transform pipeline.
+
+        The iterable is consumed once, on the first :meth:`generate`.
+
+        >>> workload = TraceWorkload.from_iter(Task() for _ in range(3))
+        >>> len(workload.generate())
+        3
+        """
+        return cls(tasks=tasks)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the docs resolve.
+
+Scans README.md and docs/**/*.md for ``[text](target)`` links and fails
+(exit 1) when a relative target does not exist on disk, or when a
+``#fragment`` does not match a heading of the target document.  External
+``http(s)://`` and ``mailto:`` links are not fetched — CI must not
+depend on the network — only their syntax is accepted.
+
+Run from the repository root (CI does)::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+IMAGE = re.compile(r"!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {slugify(match) for match in HEADING.findall(path.read_text("utf-8"))}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text("utf-8")
+    for pattern in (LINK, IMAGE):
+        for match in pattern.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            resolved = (path.parent / base).resolve() if base else path.resolve()
+            where = f"{path.relative_to(root)}: link '{target}'"
+            if not resolved.exists():
+                errors.append(f"{where} -> missing file {base!r}")
+                continue
+            if fragment and resolved.suffix.lower() == ".md":
+                if fragment not in anchors_of(resolved):
+                    errors.append(f"{where} -> no heading for anchor #{fragment}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    documents = [root / "README.md", *sorted((root / "docs").glob("**/*.md"))]
+    errors: list[str] = []
+    checked = 0
+    for document in documents:
+        if not document.exists():
+            errors.append(f"expected document is missing: {document}")
+            continue
+        checked += 1
+        errors.extend(check_file(document, root))
+    for error in errors:
+        print(f"check_doc_links: {error}", file=sys.stderr)
+    print(f"check_doc_links: {checked} document(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
