@@ -27,8 +27,9 @@ base random seed of any stochastic component.
 ``repro sweep`` runs a named scenario grid through the sweep runner:
 ``--jobs`` fans scenarios out over worker processes, ``--store`` caches
 results in a JSONL file (a second run over the same grid is served
-entirely from cache), ``--force`` bypasses the cache, and ``--filter``
-restricts the grid to scenarios whose id contains a substring.
+entirely from cache), ``--force`` bypasses the cache, ``--filter``
+restricts the grid to scenarios whose id contains a substring, and
+``--profile`` appends a per-scenario wall-time / events-per-second table.
 ``repro sweep --trace FILE`` replaces the named grid with a
 platforms × policies grid replaying a converted trace (the trace
 content hash keys the store, so edits invalidate exactly the affected
@@ -67,7 +68,11 @@ from repro.experiments.reporting import (
 )
 from repro.runner.executor import run_scenarios
 from repro.runner.grids import grid, named_grids, trace_grid
-from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
+from repro.runner.reporting import (
+    SweepProgressPrinter,
+    format_sweep_profile,
+    format_sweep_summary,
+)
 from repro.util.tables import render_table
 from repro.workload.ingest import (
     SampleUsers,
@@ -184,8 +189,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         store=args.store,
         force=args.force,
         progress=printer,
+        profile=args.profile,
     )
-    return format_sweep_summary(outcome, title=f"Sweep {grid_name!r}")
+    report = format_sweep_summary(outcome, title=f"Sweep {grid_name!r}")
+    if args.profile:
+        report += "\n" + format_sweep_profile(outcome)
+    return report
 
 
 # -- repro trace ------------------------------------------------------------------------
@@ -427,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list the available grids and their sizes, then exit",
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-scenario wall time and events/sec after the summary",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 

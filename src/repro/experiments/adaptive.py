@@ -117,6 +117,7 @@ class AdaptiveExperimentResult:
     completed_tasks: int
     total_energy: float
     planning_entries: Sequence
+    events_processed: int = 0
 
     def candidates_at(self, time: float) -> int:
         """Candidate count in effect at simulated ``time`` (s)."""
@@ -200,8 +201,18 @@ def _build_schedules(
 
 def run_adaptive_experiment(
     config: AdaptiveExperimentConfig | None = None,
+    *,
+    energy_mode: str = "quantized",
+    trace_level: str = "full",
 ) -> AdaptiveExperimentResult:
-    """Run the Figure 9 scenario and return its time series."""
+    """Run the Figure 9 scenario and return its time series.
+
+    ``energy_mode`` and ``trace_level`` forward to
+    :class:`~repro.middleware.driver.MiddlewareSimulation`; sweep workers
+    run with ``trace_level="off"`` (the planner's own low-frequency
+    status-check records are kept either way — the result reads none of
+    the per-task lifecycle events).
+    """
     config = config or AdaptiveExperimentConfig()
     platform_config = PlacementExperimentConfig(
         nodes_per_cluster=config.nodes_per_cluster
@@ -215,6 +226,8 @@ def run_adaptive_experiment(
         seds,
         sample_period=config.sample_period,
         policy_name=scheduler.name,
+        energy_mode=energy_mode,
+        trace_level=trace_level,
     )
 
     electricity, thermal = _build_schedules(config)
@@ -280,18 +293,16 @@ def run_adaptive_experiment(
     power_series = _windowed_power(
         simulation, window=config.check_period, duration=config.duration
     )
+    energy_log = simulation.energy_log
     return AdaptiveExperimentResult(
         candidate_series=planner.candidate_history(),
         power_series=power_series,
         events=config.events,
         total_nodes=len(platform),
         completed_tasks=simulation.metrics.task_count,
-        total_energy=(
-            simulation.wattmeter.log.total_energy
-            if simulation.wattmeter is not None
-            else 0.0
-        ),
+        total_energy=energy_log.total_energy if energy_log is not None else 0.0,
         planning_entries=planner.planning_entries,
+        events_processed=simulation.engine.processed_events,
     )
 
 
@@ -299,9 +310,10 @@ def _windowed_power(
     simulation: MiddlewareSimulation, *, window: float, duration: float
 ) -> tuple[tuple[float, float], ...]:
     """Average platform power per ``window`` seconds (the crosses of Figure 9)."""
-    if simulation.wattmeter is None:
+    energy_log = simulation.energy_log
+    if energy_log is None:
         return ()
-    trace = simulation.wattmeter.log.power_trace()
+    trace = energy_log.power_trace()
     if trace.size == 0:
         return ()
     times = trace[:, 0]

@@ -32,6 +32,9 @@ TABLE2_POLICIES = ("RANDOM", "POWER", "PERFORMANCE")
 def run_placement_experiment(
     policy: str,
     config: PlacementExperimentConfig | None = None,
+    *,
+    energy_mode: str = "quantized",
+    trace_level: str = "full",
     **policy_kwargs,
 ) -> SimulationResult:
     """Run the placement workload under one policy and return the full result.
@@ -39,7 +42,10 @@ def run_placement_experiment(
     ``policy`` is one of ``"POWER"``, ``"PERFORMANCE"``, ``"RANDOM"``,
     ``"GREENPERF"`` or ``"GREEN_SCORE"`` (case-insensitive);
     ``policy_kwargs`` are forwarded to the policy constructor (e.g.
-    ``seed=`` for RANDOM).
+    ``seed=`` for RANDOM).  ``energy_mode`` and ``trace_level`` forward to
+    :class:`~repro.middleware.driver.MiddlewareSimulation` — sweep workers
+    run with ``trace_level="off"`` since nothing reads per-task trace
+    events there.
     """
     config = config or PlacementExperimentConfig()
     if policy.strip().upper() == "RANDOM" and "seed" not in policy_kwargs:
@@ -60,6 +66,8 @@ def run_placement_experiment(
         seds,
         sample_period=config.sample_period,
         policy_name=scheduler.name,
+        energy_mode=energy_mode,
+        trace_level=trace_level,
     )
     simulation.submit_workload(tasks)
     return simulation.run()

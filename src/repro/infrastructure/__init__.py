@@ -16,6 +16,12 @@ from repro.infrastructure.electricity import (
     OFF_PEAK_2_COST,
     REGULAR_COST,
 )
+from repro.infrastructure.energy import (
+    EnergyAccountant,
+    EnergyReadout,
+    PowerSegment,
+    SegmentEnergyLog,
+)
 from repro.infrastructure.node import Node, NodeSpec, NodeState
 from repro.infrastructure.platform import (
     Platform,
@@ -47,4 +53,8 @@ __all__ = [
     "ThermalEvent",
     "EnergyLog",
     "Wattmeter",
+    "EnergyAccountant",
+    "EnergyReadout",
+    "PowerSegment",
+    "SegmentEnergyLog",
 ]

@@ -18,17 +18,23 @@ A node exposes exactly the observables the paper's scheduler needs
 
 The node also carries a small state machine (``OFF → BOOTING → ON``) used
 by the adaptive provisioning experiments, and tracks how many cores are
-currently busy so that the wattmeter can sample a utilisation-dependent
-power draw.
+currently busy so that its utilisation-dependent power draw is observable
+at any instant.  Every transition that can move the power draw fires the
+node's power listeners (:meth:`Node.add_power_listener`), which is how the
+event-driven energy accountant closes power segments without polling.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.infrastructure.power_model import LinearPowerModel, PowerModel
 from repro.util.validation import ensure_non_negative, ensure_positive
+
+#: Callback invoked after a node's power draw may have changed.
+PowerListener = Callable[["Node"], None]
 
 
 class NodeState(enum.Enum):
@@ -128,6 +134,7 @@ class Node:
         self._boot_completion_time: float | None = None
         self._completed_tasks = 0
         self._total_busy_core_seconds = 0.0
+        self._power_listeners: list[PowerListener] = []
 
     # -- identification ----------------------------------------------------
     @property
@@ -145,6 +152,26 @@ class Node:
             f"Node({self.name!r}, state={self._state.value}, "
             f"busy={self._busy_cores}/{self.spec.cores})"
         )
+
+    # -- power-change notification --------------------------------------------
+    def add_power_listener(self, listener: PowerListener) -> None:
+        """Subscribe to power-state transitions.
+
+        ``listener(node)`` fires *after* every state change that can move
+        the node's instantaneous power draw (core acquired/released, power
+        off, boot start/completion).  This is the hook the event-driven
+        :class:`~repro.infrastructure.energy.EnergyAccountant` uses to
+        close power segments without polling.
+        """
+        self._power_listeners.append(listener)
+
+    def remove_power_listener(self, listener: PowerListener) -> None:
+        """Unsubscribe a previously added listener (ValueError if absent)."""
+        self._power_listeners.remove(listener)
+
+    def _power_changed(self) -> None:
+        for listener in self._power_listeners:
+            listener(self)
 
     # -- power state machine -----------------------------------------------
     @property
@@ -165,6 +192,8 @@ class Node:
             )
         self._state = NodeState.OFF
         self._boot_completion_time = None
+        if self._power_listeners:
+            self._power_changed()
 
     def begin_boot(self, now: float) -> float:
         """Start booting an OFF node at time ``now``.
@@ -179,6 +208,8 @@ class Node:
             return self._boot_completion_time
         self._state = NodeState.BOOTING
         self._boot_completion_time = now + self.spec.boot_time
+        if self._power_listeners:
+            self._power_changed()
         return self._boot_completion_time
 
     def complete_boot(self) -> None:
@@ -187,6 +218,8 @@ class Node:
             raise RuntimeError(f"complete_boot() on node {self.name} in state {self._state}")
         self._state = NodeState.ON
         self._boot_completion_time = None
+        if self._power_listeners:
+            self._power_changed()
 
     @property
     def boot_completion_time(self) -> float | None:
@@ -220,6 +253,8 @@ class Node:
         if self._busy_cores >= self.spec.cores:
             raise RuntimeError(f"node {self.name} has no free core")
         self._busy_cores += 1
+        if self._power_listeners:
+            self._power_changed()
 
     def release_core(self, *, busy_seconds: float = 0.0) -> None:
         """Mark one core as free after a task completes.
@@ -233,6 +268,8 @@ class Node:
         self._busy_cores -= 1
         self._completed_tasks += 1
         self._total_busy_core_seconds += busy_seconds
+        if self._power_listeners:
+            self._power_changed()
 
     # -- power ---------------------------------------------------------------
     def current_power(self) -> float:

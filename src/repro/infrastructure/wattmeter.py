@@ -15,6 +15,13 @@ The simulation engine drives the wattmeter by calling
 :meth:`Wattmeter.advance_to` whenever simulated time moves forward, which
 keeps the sampling independent from the scheduling logic — exactly like an
 external meter.
+
+This polling path is O(nodes × simulated-seconds) and is no longer the
+production accounting: :mod:`repro.infrastructure.energy` integrates the
+same piecewise-constant power in O(state-changes).  The wattmeter is kept
+as the measurement-level *reference* implementation — the equivalence
+property tests and ``tools/bench_kernel.py`` run it side by side with the
+segment accountant (``MiddlewareSimulation(..., energy_mode="polling")``).
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from repro.infrastructure.node import Node
 from repro.util.validation import ensure_non_negative, ensure_positive
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerSample:
     """One power reading: ``node`` drew ``watts`` at simulated ``time``."""
 
@@ -49,6 +56,10 @@ class EnergyLog:
         self._energy_by_node: dict[str, float] = defaultdict(float)
         self._energy_by_cluster: dict[str, float] = defaultdict(float)
         self._node_clusters: dict[str, str] = {}
+        # Per-node (time, watts) rows, built lazily on the first per-node
+        # query and invalidated by record(): per-node queries then cost
+        # O(own samples) instead of re-scanning every node's samples.
+        self._rows_by_node: dict[str, list[tuple[float, float]]] | None = None
 
     def record(self, sample: PowerSample) -> None:
         """Append one sample; its energy contribution is ``watts × period``."""
@@ -57,6 +68,7 @@ class EnergyLog:
         self._energy_by_node[sample.node] += joules
         self._energy_by_cluster[sample.cluster] += joules
         self._node_clusters[sample.node] = sample.cluster
+        self._rows_by_node = None
 
     # -- energy queries -------------------------------------------------------
     @property
@@ -82,18 +94,32 @@ class EnergyLog:
 
     # -- trace queries ----------------------------------------------------------
     @property
+    def sample_count(self) -> int:
+        """Number of recorded samples (O(1); ``samples`` copies them all)."""
+        return len(self._samples)
+
+    @property
     def samples(self) -> Sequence[PowerSample]:
         """All recorded samples in chronological order."""
         return tuple(self._samples)
+
+    def _rows_for(self, node: str) -> list[tuple[float, float]]:
+        if self._rows_by_node is None:
+            index: dict[str, list[tuple[float, float]]] = defaultdict(list)
+            for sample in self._samples:
+                index[sample.node].append((sample.time, sample.watts))
+            self._rows_by_node = dict(index)
+        return self._rows_by_node.get(node, [])
 
     def power_trace(self, node: str | None = None) -> np.ndarray:
         """Return a ``(n, 2)`` array of ``(time, watts)`` samples.
 
         With ``node=None`` the platform-wide power is returned: samples that
-        share a timestamp are summed.
+        share a timestamp are summed.  Per-node traces read a lazily built
+        per-node index (O(own samples) after one O(all samples) build).
         """
         if node is not None:
-            rows = [(s.time, s.watts) for s in self._samples if s.node == node]
+            rows = self._rows_for(node)
             return np.asarray(rows, dtype=float).reshape(-1, 2)
         totals: dict[float, float] = defaultdict(float)
         for sample in self._samples:

@@ -27,6 +27,7 @@ class Client:
         *,
         name: str = "client-0",
         default_preference: float = 0.0,
+        keep_outcomes: bool = True,
     ) -> None:
         if not name:
             raise ValueError("client name must be a non-empty string")
@@ -34,7 +35,13 @@ class Client:
         self.master = master
         self.name = name
         self.default_preference = default_preference
+        #: With ``keep_outcomes=False`` only the counters survive: every
+        #: outcome retains the full ranked estimation-vector tuple, which
+        #: is O(requests × servers) memory nothing in a sweep reads.
+        self._keep_outcomes = keep_outcomes
         self._outcomes: list[SchedulingOutcome] = []
+        self._submitted = 0
+        self._rejected = 0
 
     def make_request(
         self,
@@ -72,21 +79,28 @@ class Client:
             task, submitted_at=submitted_at, user_preference=user_preference
         )
         outcome = self.master.submit(request)
-        self._outcomes.append(outcome)
+        self._submitted += 1
+        if not outcome.succeeded:
+            self._rejected += 1
+        if self._keep_outcomes:
+            self._outcomes.append(outcome)
         return outcome
 
     # -- bookkeeping --------------------------------------------------------------
     @property
     def outcomes(self) -> Sequence[SchedulingOutcome]:
-        """All outcomes received so far, in submission order."""
+        """All outcomes received so far, in submission order.
+
+        Empty when the client was built with ``keep_outcomes=False``.
+        """
         return tuple(self._outcomes)
 
     @property
     def submitted_count(self) -> int:
         """Number of requests submitted."""
-        return len(self._outcomes)
+        return self._submitted
 
     @property
     def rejected_count(self) -> int:
         """Number of requests for which no server could be elected."""
-        return sum(1 for outcome in self._outcomes if not outcome.succeeded)
+        return self._rejected

@@ -10,15 +10,42 @@ scheduling pipeline of the paper:
   core is free on that node (step 5);
 * completions feed the SeD's dynamic power estimate, the execution trace
   and the metrics collector;
-* an optional wattmeter samples every node at 1 Hz, providing the
-  ground-truth energy figures reported in Table II and Figure 5.
+* an event-driven :class:`~repro.infrastructure.energy.EnergyAccountant`
+  integrates every node's piecewise-constant power into the ground-truth
+  energy figures reported in Table II and Figure 5.
+
+Energy accounting modes
+-----------------------
+``energy_mode`` selects how platform energy is measured:
+
+``"quantized"`` (default)
+    Segment-based accounting that reproduces the seed wattmeter's 1 Hz
+    left-Riemann figures exactly, in O(state-changes) time and memory.
+``"exact"``
+    Analytic integration of the piecewise-constant power (no sampling
+    error), also O(state-changes).
+``"polling"``
+    The legacy :class:`~repro.infrastructure.wattmeter.Wattmeter` loop —
+    O(nodes × simulated seconds) — kept as the reference for equivalence
+    tests and ``tools/bench_kernel.py``.
+``"off"``
+    No platform-level accounting (``enable_wattmeter=False`` is the
+    backward-compatible spelling); metrics fall back to per-task energy.
+
+Tracing
+-------
+``trace_level="full"`` (default) records the four lifecycle events of
+every task on :attr:`MiddlewareSimulation.trace`.  Sweep workers pass
+``trace_level="off"``: million-task replays would otherwise allocate four
+dict-payload trace events per task that nothing in the sweep path reads
+(debug labels on engine events are skipped too).
 
 Energy attribution
 ------------------
 Each completed task records the node-level power observed when it started
 (the quantity the paper's dynamic GreenPerf estimation averages) and a
 per-core share of that power integrated over its duration as its marginal
-energy.  Platform-level energy totals always come from the wattmeter, so
+energy.  Platform-level energy totals always come from the accountant, so
 attribution choices cannot bias the headline results.
 """
 
@@ -27,6 +54,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.infrastructure.energy import EnergyAccountant, EnergyReadout
 from repro.infrastructure.platform import Platform
 from repro.infrastructure.wattmeter import Wattmeter
 from repro.middleware.agents import MasterAgent
@@ -38,6 +66,12 @@ from repro.simulation.metrics import ExperimentMetrics, MetricsCollector
 from repro.simulation.task import Task, TaskExecution, TaskState
 from repro.simulation.trace import ExecutionTrace
 
+#: Valid values of ``MiddlewareSimulation(energy_mode=...)``.
+ENERGY_MODES = ("quantized", "exact", "polling", "off")
+
+#: Valid values of ``MiddlewareSimulation(trace_level=...)``.
+TRACE_LEVELS = ("full", "off")
+
 
 @dataclass(frozen=True)
 class SimulationResult:
@@ -48,6 +82,7 @@ class SimulationResult:
     energy_by_cluster: Mapping[str, float]
     energy_by_node: Mapping[str, float]
     rejected_tasks: int
+    events_processed: int = 0
 
     @property
     def makespan(self) -> float:
@@ -72,30 +107,69 @@ class MiddlewareSimulation:
         sample_period: float = 1.0,
         enable_wattmeter: bool = True,
         policy_name: str | None = None,
+        energy_mode: str = "quantized",
+        trace_level: str = "full",
     ) -> None:
+        if energy_mode not in ENERGY_MODES:
+            raise ValueError(
+                f"energy_mode must be one of {ENERGY_MODES}, got {energy_mode!r}"
+            )
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"trace_level must be one of {TRACE_LEVELS}, got {trace_level!r}"
+            )
+        if not enable_wattmeter:
+            energy_mode = "off"
         self.platform = platform
         self.master = master
         self.seds = dict(seds)
         self.engine = SimulationEngine()
         self.trace = ExecutionTrace()
+        self._trace_on = trace_level == "full"
         self.metrics = MetricsCollector(
             policy=policy_name or getattr(master.scheduler, "name", "unknown")
         )
-        self.client = Client(master)
+        # Outcome history mirrors the trace: debugging data with an
+        # O(requests × servers) footprint (each outcome pins the full
+        # ranked estimation-vector tuple), so sweeps drop it too.
+        self.client = Client(master, keep_outcomes=self._trace_on)
+        self.energy_mode = energy_mode
         self.wattmeter: Wattmeter | None = None
-        if enable_wattmeter:
+        self.accountant: EnergyAccountant | None = None
+        if energy_mode == "polling":
             self.wattmeter = Wattmeter(platform.nodes, sample_period=sample_period)
+        elif energy_mode in ("quantized", "exact"):
+            engine = self.engine
+            self.accountant = EnergyAccountant(
+                platform.nodes,
+                clock=lambda: engine.now,
+                mode=energy_mode,
+                sample_period=sample_period,
+            )
         self._rejected = 0
         self._pending_completions = 0
+
+    @property
+    def energy_log(self) -> EnergyReadout | None:
+        """The active energy log (segment- or sample-based), if any."""
+        if self.accountant is not None:
+            return self.accountant.log
+        if self.wattmeter is not None:
+            return self.wattmeter.log
+        return None
 
     # -- workload submission -------------------------------------------------------
     def submit_workload(self, tasks: Sequence[Task]) -> None:
         """Schedule the arrival of every task in ``tasks``."""
+        trace_on = self._trace_on
+        schedule = self.engine.schedule
+        handle_arrival = self._handle_arrival
         for task in tasks:
-            self.engine.schedule(
+            schedule(
                 task.arrival_time,
-                self._make_arrival_callback(task),
-                label=f"arrival-{task.task_id}",
+                handle_arrival,
+                args=(task,),
+                label=f"arrival-{task.task_id}" if trace_on else "",
             )
 
     def inject_task(self, task: Task) -> None:
@@ -106,14 +180,10 @@ class MiddlewareSimulation:
         """
         self._handle_arrival(task)
 
-    def _make_arrival_callback(self, task: Task):
-        def _on_arrival() -> None:
-            self._handle_arrival(task)
-
-        return _on_arrival
-
     # -- event handlers ----------------------------------------------------------------
     def _sample_power(self) -> None:
+        # Only the legacy polling mode needs explicit advancing; the
+        # segment accountant is notified by the nodes themselves.
         if self.wattmeter is not None:
             self.wattmeter.advance_to(self.engine.now)
 
@@ -121,12 +191,13 @@ class MiddlewareSimulation:
         self._sample_power()
         now = self.engine.now
         task.state = TaskState.SUBMITTED
-        self.trace.record(
-            now,
-            ExecutionTrace.TASK_SUBMITTED,
-            task_id=task.task_id,
-            client=task.client,
-        )
+        if self._trace_on:
+            self.trace.record(
+                now,
+                ExecutionTrace.TASK_SUBMITTED,
+                task_id=task.task_id,
+                client=task.client,
+            )
         outcome = self.client.submit(task, submitted_at=now)
         self._handle_outcome(task, outcome)
 
@@ -135,21 +206,23 @@ class MiddlewareSimulation:
         if not outcome.succeeded:
             task.state = TaskState.REJECTED
             self._rejected += 1
-            self.trace.record(
-                now, ExecutionTrace.TASK_REJECTED, task_id=task.task_id
-            )
+            if self._trace_on:
+                self.trace.record(
+                    now, ExecutionTrace.TASK_REJECTED, task_id=task.task_id
+                )
             return
         sed = self.seds[outcome.elected]
         task.state = TaskState.QUEUED
         sed.queue.enqueue(task)
-        self.trace.record(
-            now,
-            ExecutionTrace.TASK_SCHEDULED,
-            task_id=task.task_id,
-            node=sed.name,
-            cluster=sed.cluster,
-            candidates=outcome.candidate_names,
-        )
+        if self._trace_on:
+            self.trace.record(
+                now,
+                ExecutionTrace.TASK_SCHEDULED,
+                task_id=task.task_id,
+                node=sed.name,
+                cluster=sed.cluster,
+                candidates=outcome.candidate_names,
+            )
         self._try_start(sed)
 
     def _try_start(self, sed: ServerDaemon) -> None:
@@ -170,28 +243,20 @@ class MiddlewareSimulation:
         duration = task.duration_on(node.spec.flops_per_core)
         node_power = node.current_power()
         attributed_power = node_power / max(node.busy_cores, 1)
-        self.trace.record(
-            now,
-            ExecutionTrace.TASK_STARTED,
-            task_id=task.task_id,
-            node=node.name,
-            cluster=node.cluster,
-            duration=duration,
-        )
-        submitted_at = task.arrival_time
-
-        def _on_completion() -> None:
-            self._complete_task(
-                sed,
-                task,
-                submitted_at=submitted_at,
-                started_at=now,
-                node_power=node_power,
-                attributed_power=attributed_power,
+        if self._trace_on:
+            self.trace.record(
+                now,
+                ExecutionTrace.TASK_STARTED,
+                task_id=task.task_id,
+                node=node.name,
+                cluster=node.cluster,
+                duration=duration,
             )
-
         self.engine.schedule(
-            now + duration, _on_completion, label=f"completion-{task.task_id}"
+            now + duration,
+            self._complete_task,
+            args=(sed, task, task.arrival_time, now, node_power, attributed_power),
+            label=f"completion-{task.task_id}" if self._trace_on else "",
         )
         self._pending_completions += 1
 
@@ -199,7 +264,6 @@ class MiddlewareSimulation:
         self,
         sed: ServerDaemon,
         task: Task,
-        *,
         submitted_at: float,
         started_at: float,
         node_power: float,
@@ -224,24 +288,41 @@ class MiddlewareSimulation:
             energy=energy,
         )
         self.metrics.record_execution(execution)
-        self.trace.record(
-            now,
-            ExecutionTrace.TASK_COMPLETED,
-            task_id=task.task_id,
-            node=node.name,
-            cluster=node.cluster,
-            duration=duration,
-            energy=energy,
-        )
+        if self._trace_on:
+            self.trace.record(
+                now,
+                ExecutionTrace.TASK_COMPLETED,
+                task_id=task.task_id,
+                node=node.name,
+                cluster=node.cluster,
+                duration=duration,
+                energy=energy,
+            )
         self._pending_completions -= 1
         self._try_start(sed)
+
+    def close(self) -> None:
+        """Detach the energy accountant's power listeners from the nodes.
+
+        A simulation subscribes to every node at construction time.  All
+        in-repo experiments build a fresh platform per run, so the
+        subscription's lifetime matches the platform's; call ``close()``
+        when *reusing* one platform across several simulations, so a
+        finished simulation's accountant neither pays a callback per
+        transition nor mis-stamps segments with its stale clock.
+        Idempotent; figures accounted so far stay queryable.
+        """
+        if self.accountant is not None:
+            self.accountant.close(self.engine.now)
 
     # -- execution ------------------------------------------------------------------------
     def run(self, *, until: float | None = None, max_events: int | None = None) -> SimulationResult:
         """Run the simulation to completion (or ``until``) and summarise it."""
         self.engine.run(until=until, max_events=max_events)
         self._sample_power()
-        energy_log = self.wattmeter.log if self.wattmeter is not None else None
+        if self.accountant is not None and not self.accountant.closed:
+            self.accountant.sync(self.engine.now)
+        energy_log = self.energy_log
         metrics = self.metrics.summarize(energy_log)
         return SimulationResult(
             metrics=metrics,
@@ -253,6 +334,7 @@ class MiddlewareSimulation:
                 dict(energy_log.energy_by_node()) if energy_log is not None else {}
             ),
             rejected_tasks=self._rejected,
+            events_processed=self.engine.processed_events,
         )
 
     # -- introspection -----------------------------------------------------------------------

@@ -22,8 +22,9 @@ the runner package stays import-light and free of circular dependencies
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -76,7 +77,12 @@ def _execute_placement(spec: ScenarioSpec) -> ScenarioResult:
     policy_kwargs = {}
     if spec.policy == "GREEN_SCORE":
         policy_kwargs["default_preference"] = spec.preference
-    result = run_placement_experiment(spec.policy, config, **policy_kwargs)
+    # Sweep workers skip per-task trace recording: nothing in the sweep
+    # path reads it, and million-task replays would allocate four trace
+    # events per task for nothing.
+    result = run_placement_experiment(
+        spec.policy, config, trace_level="off", **policy_kwargs
+    )
     metrics = result.metrics
     return ScenarioResult(
         spec=spec,
@@ -87,6 +93,7 @@ def _execute_placement(spec: ScenarioSpec) -> ScenarioResult:
             "mean_response_time": metrics.mean_response_time,
             "mean_queue_delay": metrics.mean_queue_delay,
             "greenperf": _greenperf_metric(metrics.total_energy, metrics.task_count),
+            "events": float(result.events_processed),
         },
         detail={
             "tasks_per_node": dict(metrics.tasks_per_node),
@@ -122,6 +129,9 @@ def _execute_heterogeneity(spec: ScenarioSpec) -> ScenarioResult:
             "mean_energy_per_task": point.mean_energy_per_task,
             "mean_completion_time": point.mean_completion_time,
             "greenperf": _greenperf_metric(point.total_energy, task_count),
+            # No "events" metric: the closed-loop study runs without the
+            # event engine, and a fabricated count would pollute the
+            # profile report's events/sec aggregate.
         },
         detail={"tasks_per_type": dict(point.tasks_per_type)},
     )
@@ -139,7 +149,7 @@ def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
         horizon=spec.horizon,
         overrides=dict(spec.overrides),
     )
-    result = run_adaptive_experiment(config)
+    result = run_adaptive_experiment(config, trace_level="off")
     return ScenarioResult(
         spec=spec,
         metrics={
@@ -150,6 +160,7 @@ def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
             "greenperf": _greenperf_metric(
                 result.total_energy, float(result.completed_tasks)
             ),
+            "events": float(result.events_processed),
         },
         detail={
             "candidate_series": [
@@ -175,13 +186,30 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return _DISPATCH[spec.experiment](spec)
 
 
+def execute_scenario_timed(spec: ScenarioSpec) -> tuple[ScenarioResult, float]:
+    """Run one scenario and return ``(result, wall_seconds)``.
+
+    Module-level so it pickles for the process pool; used by
+    ``run_scenarios(profile=True)`` (``repro sweep --profile``).
+    """
+    started = time.perf_counter()
+    result = execute_scenario(spec)
+    return result, time.perf_counter() - started
+
+
 @dataclass(frozen=True)
 class SweepOutcome:
-    """Results of a sweep, in grid order, plus cache accounting."""
+    """Results of a sweep, in grid order, plus cache accounting.
+
+    ``wall_times`` is only populated by profiled runs
+    (``run_scenarios(profile=True)``): one wall-clock duration per result,
+    aligned with ``results`` (0.0 for cache hits).
+    """
 
     results: tuple[ScenarioResult, ...]
     executed: int
     cached: int
+    wall_times: tuple[float, ...] = field(default=())
 
     @property
     def total(self) -> int:
@@ -208,13 +236,16 @@ def run_scenarios(
     store: StoreLike = None,
     force: bool = False,
     progress: Optional[ProgressCallback] = None,
+    profile: bool = False,
 ) -> SweepOutcome:
     """Execute a flat scenario sequence, honouring the cache and ``jobs``.
 
     Cache hits are reported first (in grid order); misses are executed —
     serially for ``jobs <= 1``, otherwise on a process pool — and streamed
     to ``progress`` and the store as they complete.  The returned
-    ``results`` tuple is always in grid order.
+    ``results`` tuple is always in grid order.  With ``profile=True`` the
+    outcome also carries per-scenario wall times (measured inside the
+    worker, so pool scheduling overhead is excluded).
     """
     scenarios = tuple(scenarios)
     if jobs < 1:
@@ -222,6 +253,7 @@ def run_scenarios(
     resolved_store = _resolve_store(store)
     total = len(scenarios)
     results: list[ScenarioResult | None] = [None] * total
+    wall_times: list[float] = [0.0] * total
 
     pending: list[int] = []
     for index, scenario in enumerate(scenarios):
@@ -235,31 +267,41 @@ def run_scenarios(
         else:
             pending.append(index)
 
-    def _complete(index: int, result: ScenarioResult) -> None:
+    def _complete(index: int, result: ScenarioResult, elapsed: float = 0.0) -> None:
         results[index] = result
+        wall_times[index] = elapsed
         if resolved_store is not None:
             resolved_store.put(result)
         if progress is not None:
             progress(index, result, total)
 
+    worker = execute_scenario_timed if profile else execute_scenario
     if pending:
         if jobs == 1 or len(pending) == 1:
             for index in pending:
-                _complete(index, execute_scenario(scenarios[index]))
+                outcome = worker(scenarios[index])
+                if profile:
+                    _complete(index, *outcome)
+                else:
+                    _complete(index, outcome)
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(execute_scenario, scenarios[index]): index
+                    pool.submit(worker, scenarios[index]): index
                     for index in pending
                 }
                 for future in as_completed(futures):
-                    _complete(futures[future], future.result())
+                    if profile:
+                        _complete(futures[future], *future.result())
+                    else:
+                        _complete(futures[future], future.result())
 
     return SweepOutcome(
         results=tuple(results),  # type: ignore[arg-type]
         executed=len(pending),
         cached=total - len(pending),
+        wall_times=tuple(wall_times) if profile else (),
     )
 
 
@@ -271,6 +313,7 @@ def run_sweep(
     force: bool = False,
     filter: str | None = None,
     progress: Optional[ProgressCallback] = None,
+    profile: bool = False,
 ) -> SweepOutcome:
     """Expand a sweep/grid and execute it (see :func:`run_scenarios`).
 
@@ -281,5 +324,6 @@ def run_sweep(
     if filter:
         scenarios = tuple(s for s in scenarios if filter in s.scenario_id)
     return run_scenarios(
-        scenarios, jobs=jobs, store=store, force=force, progress=progress
+        scenarios, jobs=jobs, store=store, force=force, progress=progress,
+        profile=profile,
     )

@@ -9,6 +9,8 @@ Two renderers for sweep runs:
   progress log of a parallel sweep is byte-identical to a serial one.
 * :func:`format_sweep_summary` — the aggregated comparison table
   (mean/percentiles of makespan, energy and GreenPerf per group key).
+* :func:`format_sweep_profile` — per-scenario wall time and events/sec of
+  a profiled run (``repro sweep --profile``).
 """
 
 from __future__ import annotations
@@ -95,4 +97,51 @@ def format_sweep_summary(
         f"{outcome.cached} cached"
     )
     lines.append(render_table(headers, body))
+    return "\n".join(lines)
+
+
+def format_sweep_profile(outcome: SweepOutcome) -> str:
+    """Per-scenario wall time and event throughput of a profiled sweep.
+
+    Requires an outcome produced with ``run_scenarios(profile=True)``;
+    cache hits show as ``hit`` with no timing.  The ``events`` metric is
+    recorded by the executors (engine events for simulation-backed
+    scenarios); results cached by older versions may not carry it, in
+    which case the throughput column is blank.
+    """
+    if not outcome.wall_times:
+        raise ValueError("outcome was not profiled; pass profile=True to the runner")
+    rows = []
+    total_wall = 0.0
+    total_events = 0.0
+    events_wall = 0.0  # wall time of event-bearing scenarios only
+    for result, wall in zip(outcome.results, outcome.wall_times):
+        events = result.metrics.get("events")
+        if result.cached:
+            rows.append((result.spec.scenario_id, "hit", "-", "-"))
+            continue
+        total_wall += wall
+        rate = "-"
+        if events and wall > 0:
+            total_events += events
+            events_wall += wall
+            rate = f"{events / wall:,.0f}"
+        rows.append(
+            (
+                result.spec.scenario_id,
+                f"{wall:.3f}",
+                f"{events:,.0f}" if events is not None else "-",
+                rate,
+            )
+        )
+    lines = ["Per-scenario profile:"]
+    lines.append(render_table(("scenario", "wall s", "events", "events/s"), rows))
+    if total_wall > 0:
+        summary = f"executed wall time {total_wall:.3f} s"
+        if total_events:
+            # Scenarios without an "events" metric (no event engine) are
+            # excluded from the denominator so the aggregate measures
+            # genuine engine throughput.
+            summary += f", {total_events / events_wall:,.0f} events/s overall"
+        lines.append(summary)
     return "\n".join(lines)

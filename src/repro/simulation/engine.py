@@ -10,6 +10,12 @@ Events at the same timestamp fire in FIFO order of scheduling, with an
 optional integer ``priority`` to break ties deterministically (lower fires
 first).  Determinism matters: the experiments must be exactly repeatable
 for a given seed.
+
+Heap entries are deliberately lean: one ``__slots__`` object per event
+that is simultaneously the heap entry *and* the cancellation handle, and
+callbacks take their arguments from an ``args`` tuple bound at scheduling
+time — callers on hot paths (one arrival + one completion per task) can
+schedule bound methods instead of allocating a closure per task.
 """
 
 from __future__ import annotations
@@ -17,53 +23,53 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.util.validation import ensure_non_negative
 
-EventCallback = Callable[[], None]
+EventCallback = Callable[..., None]
 
 
-@dataclass(order=True, frozen=True)
 class ScheduledEvent:
-    """Internal heap entry: ``(time, priority, sequence)`` orders events."""
+    """One pending event: heap entry and cancellation handle in one object.
 
-    time: float
-    priority: int
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False, hash=False)
+    Ordered by ``(time, priority, sequence)``; ``sequence`` is unique, so
+    the ordering is total and FIFO among equal ``(time, priority)``.
+    """
 
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "label", "cancelled")
 
-class _EventHandle:
-    """Handle returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: EventCallback,
+        args: Sequence,
+        label: str,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
 
-    __slots__ = ("_entry", "_cancelled")
-
-    def __init__(self, entry: ScheduledEvent) -> None:
-        self._entry = entry
-        self._cancelled = False
-
-    @property
-    def time(self) -> float:
-        """Scheduled firing time."""
-        return self._entry.time
-
-    @property
-    def label(self) -> str:
-        """Human-readable label attached at scheduling time."""
-        return self._entry.label
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
-        return self._cancelled
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._cancelled = True
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(t={self.time}, {self.label!r}{state})"
 
 
 class SimulationEngine:
@@ -82,7 +88,7 @@ class SimulationEngine:
     def __init__(self, *, start_time: float = 0.0) -> None:
         ensure_non_negative(start_time, "start_time")
         self._now = start_time
-        self._heap: list[tuple[ScheduledEvent, _EventHandle]] = []
+        self._heap: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._processed = 0
 
@@ -108,13 +114,14 @@ class SimulationEngine:
         time: float,
         callback: EventCallback,
         *,
+        args: Sequence = (),
         priority: int = 0,
         label: str = "",
-    ) -> _EventHandle:
-        """Schedule ``callback`` to fire at absolute simulated ``time``.
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to fire at absolute simulated ``time``.
 
-        ``time`` must not be in the past.  Returns a handle whose
-        :meth:`~_EventHandle.cancel` method removes the event.
+        ``time`` must not be in the past.  Returns the event itself, whose
+        :meth:`~ScheduledEvent.cancel` method removes it.
         """
         if not math.isfinite(time):
             raise ValueError(f"event time must be finite, got {time!r}")
@@ -123,37 +130,35 @@ class SimulationEngine:
                 f"cannot schedule an event at {time} before current time {self._now}"
             )
         entry = ScheduledEvent(
-            time=time,
-            priority=priority,
-            sequence=next(self._sequence),
-            callback=callback,
-            label=label,
+            time, priority, next(self._sequence), callback, args, label
         )
-        handle = _EventHandle(entry)
-        heapq.heappush(self._heap, (entry, handle))
-        return handle
+        heapq.heappush(self._heap, entry)
+        return entry
 
     def schedule_in(
         self,
         delay: float,
         callback: EventCallback,
         *,
+        args: Sequence = (),
         priority: int = 0,
         label: str = "",
-    ) -> _EventHandle:
-        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         ensure_non_negative(delay, "delay")
-        return self.schedule(self._now + delay, callback, priority=priority, label=label)
+        return self.schedule(
+            self._now + delay, callback, args=args, priority=priority, label=label
+        )
 
     # -- execution -------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns ``False`` if none remain."""
         while self._heap:
-            entry, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
                 continue
             self._now = entry.time
-            entry.callback()
+            entry.callback(*entry.args)
             self._processed += 1
             return True
         return False
@@ -170,8 +175,8 @@ class SimulationEngine:
         while self._heap:
             if max_events is not None and fired >= max_events:
                 return
-            entry, handle = self._heap[0]
-            if handle.cancelled:
+            entry = self._heap[0]
+            if entry.cancelled:
                 heapq.heappop(self._heap)
                 continue
             if until is not None and entry.time > until:
@@ -185,8 +190,8 @@ class SimulationEngine:
     def peek_next_time(self) -> float | None:
         """Firing time of the next live event, or ``None`` if the queue is empty."""
         while self._heap:
-            entry, handle = self._heap[0]
-            if handle.cancelled:
+            entry = self._heap[0]
+            if entry.cancelled:
                 heapq.heappop(self._heap)
                 continue
             return entry.time

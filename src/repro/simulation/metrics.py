@@ -3,7 +3,9 @@
 Table II reports makespan (s) and energy (J) per scheduling policy;
 Figures 2–4 report the number of tasks executed per node; Figure 5 the
 energy per cluster.  :class:`MetricsCollector` derives all of these from
-the execution records and the wattmeter's energy log.
+the execution records and the platform energy log — any implementation of
+the :class:`~repro.infrastructure.energy.EnergyReadout` surface (the
+segment-based accountant log or the legacy polling wattmeter log).
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.infrastructure.wattmeter import EnergyLog
+from repro.infrastructure.energy import EnergyReadout
 from repro.simulation.task import TaskExecution
 
 
@@ -130,7 +132,7 @@ class MetricsCollector:
         return np.array([e.queue_delay for e in self._executions], dtype=float)
 
     # -- summary ----------------------------------------------------------------------
-    def summarize(self, energy_log: EnergyLog | None = None) -> ExperimentMetrics:
+    def summarize(self, energy_log: EnergyReadout | None = None) -> ExperimentMetrics:
         """Build the experiment summary, pulling energy from ``energy_log``.
 
         Without an energy log, energy figures fall back to the sum of the

@@ -65,6 +65,14 @@ class TestSubmission:
         assert not outcome.succeeded
         assert client.rejected_count == 1
 
+    def test_keep_outcomes_false_retains_only_counters(self):
+        client = Client(make_master("n-0"), keep_outcomes=False)
+        assert client.submit(Task()).succeeded
+        assert not client.submit(Task(service="unsupported")).succeeded
+        assert client.outcomes == ()
+        assert client.submitted_count == 2
+        assert client.rejected_count == 1
+
     def test_multiple_submissions(self):
         client = Client(make_master("n-0", "n-1"))
         for _ in range(5):

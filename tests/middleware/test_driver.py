@@ -119,8 +119,69 @@ class TestWorkloadExecution:
         simulation.submit_workload([Task(flop=2.3e9)])
         result = simulation.run()
         assert result.energy_by_cluster == {}
+        assert simulation.energy_log is None
         # Energy falls back to the per-task attribution.
         assert result.metrics.total_energy > 0.0
+
+    def test_energy_modes_agree_on_figures(self):
+        """Quantized segments reproduce the polling figures; exact is close."""
+        tasks = [Task(flop=2.3e10), Task(flop=1.15e10, arrival_time=3.0)]
+        results = {}
+        for mode in ("polling", "quantized", "exact"):
+            simulation = make_simulation(energy_mode=mode)
+            simulation.submit_workload(list(tasks))
+            results[mode] = simulation.run()
+        assert results["quantized"].total_energy == pytest.approx(
+            results["polling"].total_energy, rel=1e-12
+        )
+        assert dict(results["quantized"].energy_by_node) == pytest.approx(
+            dict(results["polling"].energy_by_node), rel=1e-12
+        )
+        # Analytic integration drops the sampling quantisation; on this
+        # short two-task run the two renderings differ by at most a few
+        # platform-peak-seconds (one per transition, plus the t=0 instant).
+        peak = sum(n.spec.peak_power for n in simulation.platform.nodes)
+        assert abs(
+            results["exact"].total_energy - results["quantized"].total_energy
+        ) <= peak * 6
+
+    def test_invalid_energy_mode_and_trace_level_rejected(self):
+        with pytest.raises(ValueError, match="energy_mode"):
+            make_simulation(energy_mode="nope")
+        with pytest.raises(ValueError, match="trace_level"):
+            make_simulation(trace_level="sometimes")
+
+    def test_trace_level_off_skips_recording(self):
+        simulation = make_simulation(trace_level="off")
+        simulation.submit_workload([Task(flop=2.3e9)])
+        result = simulation.run()
+        assert len(simulation.trace) == 0
+        assert result.metrics.task_count == 1
+        assert result.total_energy > 0.0
+
+    def test_events_processed_reported(self):
+        simulation = make_simulation()
+        simulation.submit_workload([Task(flop=2.3e9), Task(flop=2.3e9)])
+        result = simulation.run()
+        # One arrival + one completion per task.
+        assert result.events_processed == 4
+
+    def test_close_detaches_accountant_from_a_reused_platform(self):
+        platform = grid5000_placement_platform(nodes_per_cluster=1)
+        master, seds = build_hierarchy(platform, scheduler=PowerPolicy())
+        first = MiddlewareSimulation(platform, master, seds)
+        first.submit_workload([Task(flop=2.3e9)])
+        first_result = first.run()
+        first.close()
+        first.close()  # idempotent
+        frozen_energy = first.energy_log.total_energy
+        assert frozen_energy == first_result.total_energy
+
+        second = MiddlewareSimulation(platform, master, seds)
+        second.submit_workload([Task(flop=2.3e9, arrival_time=1.0)])
+        second.run()
+        # The second run's transitions must not leak into the closed log.
+        assert first.energy_log.total_energy == frozen_energy
 
     def test_trace_records_full_lifecycle(self):
         simulation = make_simulation()

@@ -35,6 +35,8 @@ class TestExecuteScenario:
         assert result.metrics["greenperf"] == pytest.approx(
             result.metrics["total_energy"] / result.metrics["task_count"]
         )
+        # One arrival + one completion event per task, at minimum.
+        assert result.metrics["events"] >= 2 * result.metrics["task_count"]
         assert result.detail["tasks_per_node"]
 
     def test_heterogeneity_scenario_produces_metrics(self):
@@ -168,3 +170,50 @@ class TestStoreIntegration:
         )
         assert outcome.executed == 1
         assert len(store) == 1
+
+
+class TestProfiledRuns:
+    def test_profile_records_wall_times(self):
+        outcome = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+            profile=True,
+        )
+        assert len(outcome.wall_times) == 1
+        assert outcome.wall_times[0] > 0.0
+
+    def test_unprofiled_runs_carry_no_timings(self):
+        outcome = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+        )
+        assert outcome.wall_times == ()
+
+    def test_cache_hits_report_zero_wall_time(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(TINY_GRID, store=path)
+        outcome = run_sweep(TINY_GRID, store=path, profile=True)
+        assert outcome.cached == 3
+        assert outcome.wall_times == (0.0, 0.0, 0.0)
+
+    def test_profile_format_lists_every_scenario(self):
+        from repro.runner.reporting import format_sweep_profile
+
+        outcome = run_sweep(TINY_GRID, profile=True)
+        report = format_sweep_profile(outcome)
+        for result in outcome.results:
+            assert result.spec.scenario_id in report
+        assert "events/s" in report
+
+    def test_profile_format_requires_profiled_outcome(self):
+        from repro.runner.reporting import format_sweep_profile
+
+        outcome = run_sweep(TINY_GRID)
+        with pytest.raises(ValueError, match="profile"):
+            format_sweep_profile(outcome)
+
+    def test_parallel_profile_matches_serial_results(self):
+        serial = run_sweep(TINY_GRID, profile=True)
+        parallel = run_sweep(TINY_GRID, jobs=2, profile=True)
+        assert [r.metrics for r in serial.results] == [
+            r.metrics for r in parallel.results
+        ]
+        assert all(t > 0.0 for t in parallel.wall_times)

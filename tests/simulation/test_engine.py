@@ -154,6 +154,24 @@ class TestCancellation:
         assert handle.label == "hello"
 
 
+class TestCallbackArgs:
+    def test_args_are_passed_to_the_callback(self):
+        """Hot paths schedule bound methods + args instead of closures."""
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, fired.append, args=("a",))
+        engine.schedule_in(2.0, lambda x, y: fired.append(x + y), args=(1, 2))
+        engine.run()
+        assert fired == ["a", 3]
+
+    def test_default_args_is_empty(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("ok"))
+        engine.run()
+        assert fired == ["ok"]
+
+
 class TestClockMonotonicity:
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
     def test_clock_never_goes_backwards(self, times):

@@ -1,0 +1,202 @@
+"""Property tests: segment-based quantized accounting == seed polling wattmeter.
+
+The headline acceptance criterion of the event-driven refactor is that
+``energy_mode="quantized"`` reproduces the polling wattmeter's figures
+*exactly* — total energy, per-node and per-cluster energy, power traces
+and sample counts — on arbitrary platforms and schedules, while doing
+O(state-changes) work instead of O(nodes × seconds).
+
+The randomized platforms below use integer idle/peak power, power-of-two
+core counts and power-of-two sample periods, which makes every
+instantaneous power value and per-instant energy term a dyadic rational:
+both accounting paths then compute the same sums without rounding, so the
+comparisons are ``==``, not approx.  (For non-dyadic periods the figures
+agree to float rounding; the experiments use 1 s, 5 s and 10 s, all
+exactly representable.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.policies import policy_by_name
+from repro.infrastructure.cluster import Cluster
+from repro.infrastructure.node import Node, NodeSpec
+from repro.infrastructure.platform import Platform, grid5000_placement_platform
+from repro.middleware.driver import MiddlewareSimulation
+from repro.middleware.hierarchy import build_hierarchy
+from repro.simulation.task import Task
+
+# -- strategies -----------------------------------------------------------------
+
+node_spec_strategy = st.builds(
+    dict,
+    cores=st.sampled_from([1, 2, 4, 8]),
+    idle=st.integers(min_value=10, max_value=300),
+    extra=st.integers(min_value=0, max_value=300),
+    flops=st.floats(min_value=5.0e8, max_value=5.0e9),
+)
+
+platform_strategy = st.lists(
+    st.lists(node_spec_strategy, min_size=1, max_size=3), min_size=1, max_size=3
+)
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=1e9, max_value=1e11),   # flop
+        st.floats(min_value=0.0, max_value=120.0),  # arrival time
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+policy_strategy = st.sampled_from(
+    ["POWER", "PERFORMANCE", "GREENPERF", "GREEN_SCORE", "RANDOM"]
+)
+
+#: Power-of-two periods: tick arithmetic is bit-exact in both paths.
+period_strategy = st.sampled_from([0.5, 1.0, 2.0])
+
+
+def build_platform(cluster_rows) -> Platform:
+    clusters = []
+    for c_index, rows in enumerate(cluster_rows):
+        name = f"c{c_index}"
+        nodes = []
+        for n_index, row in enumerate(rows):
+            spec = NodeSpec(
+                name=f"{name}-n{n_index}",
+                cluster=name,
+                cores=row["cores"],
+                flops_per_core=row["flops"],
+                idle_power=float(row["idle"]),
+                peak_power=float(row["idle"] + row["extra"]),
+            )
+            nodes.append(Node(spec))
+        clusters.append(Cluster(name, nodes))
+    return Platform(clusters)
+
+
+def run_simulation(platform, policy_name, rows, *, energy_mode, sample_period):
+    kwargs = {"seed": 0} if policy_name == "RANDOM" else {}
+    master, seds = build_hierarchy(
+        platform, scheduler=policy_by_name(policy_name, **kwargs)
+    )
+    simulation = MiddlewareSimulation(
+        platform,
+        master,
+        seds,
+        sample_period=sample_period,
+        energy_mode=energy_mode,
+    )
+    simulation.submit_workload(
+        [Task(flop=flop, arrival_time=arrival) for flop, arrival in rows]
+    )
+    result = simulation.run()
+    return simulation, result
+
+
+def assert_logs_equivalent(platform, polling_log, segment_log):
+    assert segment_log.total_energy == polling_log.total_energy
+    assert dict(segment_log.energy_by_node()) == dict(polling_log.energy_by_node())
+    assert dict(segment_log.energy_by_cluster()) == dict(
+        polling_log.energy_by_cluster()
+    )
+    assert np.array_equal(segment_log.power_trace(), polling_log.power_trace())
+    for node in platform.nodes:
+        assert np.array_equal(
+            segment_log.power_trace(node.name), polling_log.power_trace(node.name)
+        )
+        assert segment_log.mean_power(node.name) == polling_log.mean_power(node.name)
+    assert len(segment_log.samples) == len(polling_log.samples)
+
+
+class TestQuantizedMatchesPolling:
+    @settings(
+        max_examples=200,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        cluster_rows=platform_strategy,
+        rows=workload_strategy,
+        policy_name=policy_strategy,
+        period=period_strategy,
+    )
+    def test_energy_figures_are_identical(self, cluster_rows, rows, policy_name, period):
+        """Quantized segment accounting == seed polling, bit for bit."""
+        polled, polled_result = run_simulation(
+            build_platform(cluster_rows), policy_name, rows,
+            energy_mode="polling", sample_period=period,
+        )
+        segmented, segmented_result = run_simulation(
+            build_platform(cluster_rows), policy_name, rows,
+            energy_mode="quantized", sample_period=period,
+        )
+        assert segmented_result.metrics.task_count == polled_result.metrics.task_count
+        assert segmented_result.total_energy == polled_result.total_energy
+        assert dict(segmented_result.energy_by_node) == dict(
+            polled_result.energy_by_node
+        )
+        assert dict(segmented_result.energy_by_cluster) == dict(
+            polled_result.energy_by_cluster
+        )
+        assert_logs_equivalent(
+            polled.platform, polled.energy_log, segmented.energy_log
+        )
+
+    @settings(max_examples=25, deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=workload_strategy, policy_name=policy_strategy)
+    def test_identical_on_the_paper_platform(self, rows, policy_name):
+        """Same equivalence on the Table I platform (12-core utilisation
+        steps are not dyadic, so energies agree to float rounding)."""
+        polled, polled_result = run_simulation(
+            grid5000_placement_platform(nodes_per_cluster=1), policy_name, rows,
+            energy_mode="polling", sample_period=1.0,
+        )
+        segmented, segmented_result = run_simulation(
+            grid5000_placement_platform(nodes_per_cluster=1), policy_name, rows,
+            energy_mode="quantized", sample_period=1.0,
+        )
+        assert segmented_result.total_energy == pytest.approx(
+            polled_result.total_energy, rel=1e-9, abs=1e-6
+        )
+        polled_by_node = dict(polled_result.energy_by_node)
+        for node, joules in segmented_result.energy_by_node.items():
+            assert joules == pytest.approx(polled_by_node[node], rel=1e-9, abs=1e-6)
+        assert len(segmented.energy_log.samples) == len(polled.energy_log.samples)
+
+    @settings(max_examples=25, deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        cluster_rows=platform_strategy,
+        rows=workload_strategy,
+        period=period_strategy,
+    )
+    def test_exact_mode_brackets_quantized(self, cluster_rows, rows, period):
+        """Analytic energy differs from the 1 Hz rendering by at most one
+        sample period's worth of platform peak power."""
+        _, quantized = run_simulation(
+            build_platform(cluster_rows), "GREENPERF", rows,
+            energy_mode="quantized", sample_period=period,
+        )
+        _, exact = run_simulation(
+            build_platform(cluster_rows), "GREENPERF", rows,
+            energy_mode="exact", sample_period=period,
+        )
+        peak_platform = sum(
+            spec["idle"] + spec["extra"]
+            for rows_ in cluster_rows
+            for spec in rows_
+        )
+        # Quantized covers one extra left-closed instant at t=0, one
+        # partial trailing period, and rounds each power transition to the
+        # next instant — each task contributes at most two transitions.
+        transitions = 2 * len(rows) + 2
+        assert abs(quantized.total_energy - exact.total_energy) <= (
+            peak_platform * period * transitions + 1e-6
+        )

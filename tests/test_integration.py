@@ -39,7 +39,7 @@ class TestEnergyConservation:
     def test_wattmeter_energy_bounded_by_idle_and_peak(self):
         simulation, result = run_workload("POWER", WORKLOAD)
         platform = simulation.platform
-        makespan_samples = len(simulation.wattmeter.log.samples) / len(platform)
+        makespan_samples = len(simulation.energy_log.samples) / len(platform)
         idle_floor = sum(node.spec.idle_power for node in platform.nodes)
         peak_ceiling = sum(node.spec.peak_power for node in platform.nodes)
         total = result.total_energy

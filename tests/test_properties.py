@@ -60,8 +60,8 @@ class TestSimulationProperties:
     def test_energy_within_physical_bounds(self, rows, policy_name):
         """Wattmeter energy lies between the idle floor and the peak ceiling."""
         platform, simulation, result = _run(policy_name, rows)
-        samples_per_node = len(simulation.wattmeter.log.samples) / len(platform)
-        period = simulation.wattmeter.sample_period
+        samples_per_node = len(simulation.energy_log.samples) / len(platform)
+        period = simulation.energy_log.sample_period
         idle_floor = sum(node.spec.idle_power for node in platform.nodes)
         peak_ceiling = sum(node.spec.peak_power for node in platform.nodes)
         assert result.total_energy >= idle_floor * (samples_per_node - 1) * period * 0.99

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Kernel benchmark: event-driven energy accounting vs the seed polling path.
+
+Runs a fixed scenario — 50 nodes × 10,000 tasks spread over a one-week
+horizon — through :class:`~repro.middleware.driver.MiddlewareSimulation`
+once per energy mode and reports wall time, engine events per second,
+peak RSS and the size of the accounting store:
+
+* ``quantized`` — segment accounting, bit-compatible with the seed figures;
+* ``exact``     — segment accounting, analytic integration;
+* ``polling``   — the seed's 1 Hz wattmeter loop (O(nodes × seconds)).
+
+Each mode runs in its own subprocess so peak-RSS figures are independent
+high-water marks.  Results are written to ``BENCH_kernel.json`` (override
+with ``--out``); ``--quick`` shrinks the scenario for CI smoke runs
+(12 nodes × 1,000 tasks × 1 day).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_kernel.py            # full scenario
+    PYTHONPATH=src python tools/bench_kernel.py --quick    # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Per-task cost: ≈ 600 s on one Taurus core (2.3 GFLOP/s).
+TASK_FLOP = 1.38e12
+
+FULL_SCENARIO = {"nodes": 50, "tasks": 10_000, "horizon_s": 604_800.0}
+QUICK_SCENARIO = {"nodes": 12, "tasks": 1_000, "horizon_s": 86_400.0}
+
+MODES = ("quantized", "exact", "polling")
+
+
+def build_platform(node_count: int):
+    """A ``node_count``-node platform cycling the three Table I node types."""
+    from repro.infrastructure.cluster import Cluster
+    from repro.infrastructure.node import Node, NodeSpec
+    from repro.infrastructure.platform import (
+        Platform,
+        orion_spec,
+        sagittaire_spec,
+        taurus_spec,
+    )
+
+    templates = (orion_spec(), taurus_spec(), sagittaire_spec())
+    per_cluster: dict[str, list[Node]] = {t.cluster: [] for t in templates}
+    for index in range(node_count):
+        template = templates[index % len(templates)]
+        rank = len(per_cluster[template.cluster])
+        spec = NodeSpec(
+            name=f"{template.cluster}-{rank}",
+            cluster=template.cluster,
+            cores=template.cores,
+            flops_per_core=template.flops_per_core,
+            idle_power=template.idle_power,
+            peak_power=template.peak_power,
+            boot_power=template.boot_power,
+            boot_time=template.boot_time,
+            memory_gb=template.memory_gb,
+        )
+        per_cluster[template.cluster].append(Node(spec))
+    return Platform(
+        [Cluster(name, nodes) for name, nodes in per_cluster.items() if nodes]
+    )
+
+
+def build_tasks(task_count: int, horizon: float):
+    """Evenly spaced arrivals over ``horizon`` — the polling-hostile shape:
+
+    long stretches of near-idle simulated time that the wattmeter samples
+    second by second while the segment accountant does nothing at all.
+    """
+    from repro.simulation.task import Task
+
+    spacing = horizon / task_count
+    return [
+        Task(flop=TASK_FLOP, arrival_time=index * spacing, client="bench")
+        for index in range(task_count)
+    ]
+
+
+def run_mode(mode: str, scenario: dict) -> dict:
+    """Run one energy mode in-process and measure it."""
+    from repro.core.policies import PowerPolicy
+    from repro.middleware.driver import MiddlewareSimulation
+    from repro.middleware.hierarchy import build_hierarchy
+
+    platform = build_platform(scenario["nodes"])
+    master, seds = build_hierarchy(platform, scheduler=PowerPolicy())
+    simulation = MiddlewareSimulation(
+        platform,
+        master,
+        seds,
+        sample_period=1.0,
+        policy_name="POWER",
+        energy_mode=mode,
+        trace_level="off",
+    )
+    tasks = build_tasks(scenario["tasks"], scenario["horizon_s"])
+
+    started = time.perf_counter()
+    simulation.submit_workload(tasks)
+    result = simulation.run()
+    wall = time.perf_counter() - started
+
+    if simulation.accountant is not None:
+        store_objects = simulation.accountant.log.segment_count
+        store_kind = "segments"
+    else:
+        store_objects = simulation.wattmeter.log.sample_count
+        store_kind = "samples"
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes, Linux kilobytes
+        peak_rss_kb //= 1024
+    return {
+        "mode": mode,
+        "wall_s": round(wall, 3),
+        "events": result.events_processed,
+        "events_per_s": round(result.events_processed / wall) if wall else None,
+        "peak_rss_kb": peak_rss_kb,
+        "completed_tasks": result.metrics.task_count,
+        "total_energy_j": result.total_energy,
+        "store_kind": store_kind,
+        "store_objects": store_objects,
+    }
+
+
+def run_mode_in_subprocess(mode: str, quick: bool) -> dict:
+    """Isolate one mode in a child process for a clean peak-RSS reading."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, str(Path(__file__).resolve()), "--run-mode", mode]
+    if quick:
+        command.append("--quick")
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, check=False
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"benchmark subprocess for mode {mode!r} failed:\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout)
+
+
+def summarise(scenario: dict, by_mode: dict) -> dict:
+    polling = by_mode.get("polling")
+    report = {
+        "scenario": scenario,
+        "modes": by_mode,
+    }
+    if polling:
+        report["speedup_vs_polling"] = {
+            mode: round(polling["wall_s"] / by_mode[mode]["wall_s"], 1)
+            for mode in by_mode
+            if mode != "polling" and by_mode[mode]["wall_s"] > 0
+        }
+        report["peak_rss_ratio_vs_polling"] = {
+            mode: round(polling["peak_rss_kb"] / by_mode[mode]["peak_rss_kb"], 1)
+            for mode in by_mode
+            if mode != "polling"
+        }
+        report["store_ratio_vs_polling"] = {
+            mode: round(
+                polling["store_objects"] / max(by_mode[mode]["store_objects"], 1)
+            )
+            for mode in by_mode
+            if mode != "polling"
+        }
+        if "quantized" in by_mode:
+            p, q = polling["total_energy_j"], by_mode["quantized"]["total_energy_j"]
+            report["energy_agreement"] = {
+                "quantized_rel_diff_vs_polling": abs(q - p) / p if p else 0.0,
+            }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-scale scenario")
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_kernel.json"), help="output JSON path"
+    )
+    parser.add_argument(
+        "--modes",
+        default=",".join(MODES),
+        help=f"comma-separated subset of {MODES} (default: all)",
+    )
+    parser.add_argument(
+        "--run-mode",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: child-process entry point
+    )
+    args = parser.parse_args(argv)
+
+    scenario = dict(QUICK_SCENARIO if args.quick else FULL_SCENARIO)
+    scenario["task_flop"] = TASK_FLOP
+    scenario["sample_period_s"] = 1.0
+    scenario["policy"] = "POWER"
+    scenario["quick"] = args.quick
+
+    if args.run_mode:
+        if sys.path[0] != str(SRC):
+            sys.path.insert(0, str(SRC))
+        print(json.dumps(run_mode(args.run_mode, scenario)))
+        return 0
+
+    modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
+    unknown = set(modes) - set(MODES)
+    if unknown:
+        parser.error(f"unknown modes {sorted(unknown)}; choose from {MODES}")
+
+    by_mode = {}
+    for mode in modes:
+        print(f"running {mode} ...", flush=True)
+        by_mode[mode] = run_mode_in_subprocess(mode, args.quick)
+        stats = by_mode[mode]
+        print(
+            f"  {mode:<10} wall {stats['wall_s']:>9.3f} s   "
+            f"{stats['events_per_s']:>12,} events/s   "
+            f"peak RSS {stats['peak_rss_kb'] / 1024:>8.1f} MB   "
+            f"{stats['store_objects']:,} {stats['store_kind']}"
+        )
+
+    report = summarise(scenario, by_mode)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
