@@ -37,6 +37,13 @@ contribution on top:
     Ready-to-run reproductions of every table and figure in the paper's
     evaluation section.
 
+``repro.scenario``
+    Declarative event timelines and fault injection: typed events
+    (tariff changes, thermal excursions, node crash/recovery, workload
+    bursts), TOML/JSON timeline files, seeded generators, and the wiring
+    that schedules them alongside task events — the open scenario space
+    behind ``repro sweep --timeline``.
+
 ``repro.runner``
     Declarative scenario sweeps over the experiments: frozen
     ``ScenarioSpec`` grids with deterministic content hashes, a

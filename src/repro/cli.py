@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``)::
     repro trace convert ...      # real SWF log -> replayable CSV trace
     repro trace stats ...        # workload statistics of a trace
     repro trace inspect ...      # header directives + leading records
+    repro timeline validate ...  # check an event-timeline file
+    repro timeline inspect ...   # list a timeline's events
 
 (``python -m repro …`` works identically without installing.)
 
@@ -33,7 +35,14 @@ restricts the grid to scenarios whose id contains a substring, and
 ``repro sweep --trace FILE`` replaces the named grid with a
 platforms × policies grid replaying a converted trace (the trace
 content hash keys the store, so edits invalidate exactly the affected
-entries).
+entries).  ``repro sweep --timeline FILE`` replaces it with a
+platforms × horizons adaptive grid driven by a declarative event
+timeline — tariff schedules, thermal excursions, node crashes and
+workload bursts (``docs/SCENARIOS.md``); the *parsed* timeline's
+content hash keys the store.
+
+``repro timeline`` works with timeline files: ``validate`` parses and
+validates one (exit 2 on errors), ``inspect`` lists its events.
 
 ``repro trace`` is the real-log pipeline (``docs/TRACE_FORMAT.md``):
 ``convert`` parses a Standard Workload Format log, maps jobs onto tasks
@@ -67,7 +76,8 @@ from repro.experiments.reporting import (
     format_task_distribution,
 )
 from repro.runner.executor import run_scenarios
-from repro.runner.grids import grid, named_grids, trace_grid
+from repro.runner.grids import grid, named_grids, timeline_grid, trace_grid
+from repro.scenario import load_timeline
 from repro.runner.reporting import (
     SweepProgressPrinter,
     format_sweep_profile,
@@ -169,12 +179,25 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         for name in named_grids():
             lines.append(f"  {name:<16}{len(grid(name))} scenarios")
         lines.append("  --trace FILE    platforms x policies replay of a CSV trace")
+        lines.append("  --timeline FILE platforms x horizons adaptive run of a timeline")
         return "\n".join(lines)
+    exclusive = [
+        flag
+        for flag, value in (
+            ("--grid", args.grid),
+            ("--trace", args.trace),
+            ("--timeline", args.timeline),
+        )
+        if value is not None
+    ]
+    if len(exclusive) > 1:
+        raise ValueError(f"{' and '.join(exclusive)} are mutually exclusive")
     if args.trace is not None:
-        if args.grid is not None:
-            raise ValueError("--grid and --trace are mutually exclusive")
         scenarios = trace_grid(args.trace)
         grid_name = f"trace:{Path(args.trace).name}"
+    elif args.timeline is not None:
+        scenarios = timeline_grid(args.timeline)
+        grid_name = f"timeline:{Path(args.timeline).name}"
     else:
         grid_name = args.grid if args.grid is not None else "default"
         scenarios = grid(grid_name)
@@ -358,6 +381,42 @@ def _cmd_trace_inspect(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+# -- repro timeline ---------------------------------------------------------------------
+
+
+def _cmd_timeline_validate(args: argparse.Namespace) -> str:
+    timeline = load_timeline(args.file)
+    kinds: dict[str, int] = {}
+    for event in timeline:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    rows = [("events", f"{len(timeline)}")]
+    rows.extend((kind, f"{count}") for kind, count in sorted(kinds.items()))
+    rows.append(("span (s)", f"{timeline.end_time:.1f}"))
+    rows.append(("content hash", timeline.content_hash()[:16]))
+    return (
+        f"{args.file}: valid timeline\n"
+        + render_table(("property", "value"), rows)
+    )
+
+
+def _cmd_timeline_inspect(args: argparse.Namespace) -> str:
+    timeline = load_timeline(args.file)
+    rows = [
+        (
+            f"{event.time:g}",
+            event.kind,
+            "scheduled" if event.scheduled else "unexpected",
+            event.describe(),
+        )
+        for event in timeline
+    ]
+    return (
+        f"Timeline — {args.file} ({len(timeline)} event(s), "
+        f"hash {timeline.content_hash()[:16]})\n"
+        + render_table(("time", "kind", "visibility", "description"), rows)
+    )
+
+
 _COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     "table1": ("print the Table I infrastructure", _cmd_table1),
     "table2": ("reproduce Table II (makespan & energy per policy)", _cmd_table2),
@@ -408,6 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="replay a CSV trace (from 'repro trace convert') as a "
         "platforms x policies grid instead of a named grid",
+    )
+    sweep.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="run a platforms x horizons adaptive grid driven by an event-"
+        "timeline file (TOML/JSON) instead of a named grid",
     )
     sweep.add_argument(
         "--jobs",
@@ -554,6 +620,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of leading records to show (default: 10)",
     )
     inspect.set_defaults(handler=_cmd_trace_inspect)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="validate and inspect event-timeline files"
+    )
+    timeline_sub = timeline.add_subparsers(dest="timeline_command", required=True)
+    tl_validate = timeline_sub.add_parser(
+        "validate",
+        help="parse and validate a timeline file (exit 2 on errors)",
+        description="Load a TOML/JSON event timeline, run full validation "
+        "(event fields, crash/repair protocol) and print a summary.",
+    )
+    tl_validate.add_argument("file", help="timeline file (.toml or .json)")
+    tl_validate.set_defaults(handler=_cmd_timeline_validate)
+    tl_inspect = timeline_sub.add_parser(
+        "inspect", help="list the events of a timeline file"
+    )
+    tl_inspect.add_argument("file", help="timeline file (.toml or .json)")
+    tl_inspect.set_defaults(handler=_cmd_timeline_inspect)
     return parser
 
 

@@ -20,6 +20,14 @@ A client aware of the number of available nodes submits a continuous flow
 of requests "intending to reach the capacity of the infrastructure", so
 the measured power consumption tracks the candidate count with the
 documented delays.
+
+The four events ship as the bundled declarative timeline
+``repro/scenario/data/figure9.toml`` (see ``docs/SCENARIOS.md``); any
+other :class:`~repro.scenario.events.EventTimeline` — including node
+crash/recovery storms and workload bursts — can be substituted through
+:class:`AdaptiveExperimentConfig` or ``repro sweep --timeline``.  The
+golden suite (``tests/test_goldens.py``) pins the bundled timeline to
+the exact bits of the historical inline-event implementation.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.events import ElectricityCostEvent, EnergyEvent, TemperatureEvent
+from repro.core.events import EnergyEvent
 from repro.core.policies import GreenPerfPolicy
 from repro.core.provisioning import ProvisioningConfig, ProvisioningPlanner
 from repro.core.rules import AdministratorRules
@@ -38,11 +46,12 @@ from repro.experiments.presets import (
     PlacementExperimentConfig,
     preset_value,
 )
-from repro.infrastructure.electricity import ElectricityCostSchedule, TariffPeriod
-from repro.infrastructure.thermal import ThermalEnvironment, ThermalEvent
 from repro.middleware.driver import MiddlewareSimulation
 from repro.middleware.hierarchy import build_hierarchy
 from repro.runner.spec import ScenarioSpec, SweepSpec
+from repro.scenario.apply import build_schedules, install_timeline
+from repro.scenario.events import EventTimeline, TariffChange, ThermalExcursion
+from repro.scenario.io import bundled_timeline
 from repro.simulation.task import Task
 from repro.util.validation import ensure_positive
 
@@ -63,14 +72,42 @@ ADAPTIVE_WORKLOAD_PRESETS: Mapping[str, Mapping[str, float]] = {
 }
 
 
+def default_adaptive_timeline(*, minute: float = _MINUTE) -> EventTimeline:
+    """The Figure 9 scenario as a declarative timeline.
+
+    Loaded from the bundled ``repro/scenario/data/figure9.toml`` — the
+    canonical source of the quartet — with event times rescaled when a
+    non-standard ``minute`` is requested (the file is authored on the
+    real 60-second minute).
+    """
+    timeline = bundled_timeline("figure9")
+    if minute == _MINUTE:
+        return timeline
+    scale = minute / _MINUTE
+    rescaled = []
+    for event in timeline:
+        if isinstance(event, TariffChange):
+            rescaled.append(
+                TariffChange(
+                    time=event.time * scale, cost=event.cost, scheduled=event.scheduled
+                )
+            )
+        elif isinstance(event, ThermalExcursion):
+            rescaled.append(
+                ThermalExcursion(
+                    time=event.time * scale,
+                    temperature=event.temperature,
+                    scheduled=event.scheduled,
+                )
+            )
+        else:  # pragma: no cover - figure9.toml only carries the two kinds
+            raise ValueError(f"cannot rescale {event.kind} events")
+    return EventTimeline(rescaled)
+
+
 def default_adaptive_events(*, minute: float = _MINUTE) -> tuple[EnergyEvent, ...]:
     """The four events of Figure 9, expressed on the simulation clock."""
-    return (
-        ElectricityCostEvent(time=60 * minute, cost=0.8, scheduled=True),
-        ElectricityCostEvent(time=100 * minute, cost=0.5, scheduled=True),
-        TemperatureEvent(time=160 * minute, temperature=30.0, scheduled=False),
-        TemperatureEvent(time=240 * minute, temperature=22.0, scheduled=False),
-    )
+    return default_adaptive_timeline(minute=minute).energy_events()
 
 
 @dataclass(frozen=True)
@@ -79,6 +116,12 @@ class AdaptiveExperimentConfig:
 
     The defaults replay the paper's 260-minute scenario; tests shrink the
     duration and task size to keep runtimes low.
+
+    The scenario's events come from ``timeline`` when one is given;
+    otherwise from the legacy ``events`` tuple (defaulting to the bundled
+    Figure 9 quartet).  A timeline may carry node failures/recoveries and
+    workload bursts in addition to the tariff/thermal events — see
+    ``docs/SCENARIOS.md``.
     """
 
     duration: float = 260 * _MINUTE
@@ -91,8 +134,10 @@ class AdaptiveExperimentConfig:
     client_tick: float = 60.0
     sample_period: float = 5.0
     events: tuple[EnergyEvent, ...] = field(default_factory=default_adaptive_events)
+    timeline: EventTimeline | None = None
     manage_power: bool = True
     base_temperature: float = 21.0
+    requeue_on_failure: bool = True
 
     def __post_init__(self) -> None:
         ensure_positive(self.duration, "duration")
@@ -104,6 +149,12 @@ class AdaptiveExperimentConfig:
             raise ValueError(
                 f"nodes_per_cluster must be >= 1, got {self.nodes_per_cluster}"
             )
+
+    def effective_timeline(self) -> EventTimeline:
+        """The timeline driving the run: ``timeline``, or ``events`` wrapped."""
+        if self.timeline is not None:
+            return self.timeline
+        return EventTimeline.from_energy_events(self.events)
 
 
 @dataclass(frozen=True)
@@ -118,6 +169,8 @@ class AdaptiveExperimentResult:
     total_energy: float
     planning_entries: Sequence
     events_processed: int = 0
+    failed_tasks: int = 0
+    rejected_tasks: int = 0
 
     def candidates_at(self, time: float) -> int:
         """Candidate count in effect at simulated ``time`` (s)."""
@@ -140,6 +193,7 @@ def adaptive_config_for(
     workload: str = "paper",
     *,
     horizon: float | None = None,
+    timeline: EventTimeline | None = None,
     overrides: Mapping[str, object] | None = None,
 ) -> AdaptiveExperimentConfig:
     """Build an :class:`AdaptiveExperimentConfig` from preset names.
@@ -147,8 +201,9 @@ def adaptive_config_for(
     ``platform`` selects the node count
     (:data:`repro.experiments.presets.PLATFORM_PRESETS`), ``workload`` the
     scenario scale (:data:`ADAPTIVE_WORKLOAD_PRESETS`), ``horizon``
-    overrides the simulated duration, and ``overrides`` replaces individual
-    config fields — the resolution path of adaptive
+    overrides the simulated duration, ``timeline`` replaces the default
+    Figure 9 event timeline, and ``overrides`` replaces individual config
+    fields — the resolution path of adaptive
     :class:`~repro.runner.spec.ScenarioSpec` values.
     """
     params: dict[str, object] = dict(
@@ -159,6 +214,8 @@ def adaptive_config_for(
         params.update(overrides)
     if horizon is not None:
         params["duration"] = horizon
+    if timeline is not None:
+        params["timeline"] = timeline
     return AdaptiveExperimentConfig(**params)
 
 
@@ -184,21 +241,6 @@ def adaptive_sweep(
     )
 
 
-def _build_schedules(
-    config: AdaptiveExperimentConfig,
-) -> tuple[ElectricityCostSchedule, ThermalEnvironment]:
-    electricity = ElectricityCostSchedule(default_cost=1.0)
-    thermal = ThermalEnvironment(base_temperature=config.base_temperature)
-    for event in config.events:
-        if isinstance(event, ElectricityCostEvent):
-            electricity.add_period(TariffPeriod(start=event.time, cost=event.cost))
-        elif isinstance(event, TemperatureEvent):
-            thermal.schedule_event(
-                ThermalEvent(time=event.time, temperature=event.temperature)
-            )
-    return electricity, thermal
-
-
 def run_adaptive_experiment(
     config: AdaptiveExperimentConfig | None = None,
     *,
@@ -214,6 +256,7 @@ def run_adaptive_experiment(
     the per-task lifecycle events).
     """
     config = config or AdaptiveExperimentConfig()
+    timeline = config.effective_timeline()
     platform_config = PlacementExperimentConfig(
         nodes_per_cluster=config.nodes_per_cluster
     )
@@ -230,7 +273,10 @@ def run_adaptive_experiment(
         trace_level=trace_level,
     )
 
-    electricity, thermal = _build_schedules(config)
+    electricity, thermal = build_schedules(
+        timeline, base_temperature=config.base_temperature
+    )
+    install_timeline(simulation, timeline, requeue=config.requeue_on_failure)
     rules = AdministratorRules.paper_defaults()
     planner = ProvisioningPlanner(
         platform,
@@ -268,13 +314,25 @@ def run_adaptive_experiment(
         return max(total, 1)
 
     def _in_flight() -> int:
-        return submitted - simulation.metrics.task_count - simulation.rejected_tasks
+        return (
+            submitted
+            - simulation.metrics.task_count
+            - simulation.rejected_tasks
+            - simulation.failed_tasks
+        )
 
     def _client_tick() -> None:
         nonlocal submitted
         now = simulation.engine.now
         if now <= submission_deadline:
-            deficit = _capacity() - _in_flight()
+            target = _capacity()
+            multiplier = timeline.arrival_multiplier(now)
+            if multiplier != 1.0:
+                # Bursts scale the closed-loop pressure target; the
+                # equality guard keeps burst-free runs (Figure 9)
+                # bit-identical to the historical inline-event path.
+                target = max(1, round(target * multiplier))
+            deficit = target - _in_flight()
             for _ in range(max(deficit, 0)):
                 task = Task(
                     flop=config.task_flop,
@@ -297,12 +355,14 @@ def run_adaptive_experiment(
     return AdaptiveExperimentResult(
         candidate_series=planner.candidate_history(),
         power_series=power_series,
-        events=config.events,
+        events=timeline.events,
         total_nodes=len(platform),
         completed_tasks=simulation.metrics.task_count,
         total_energy=energy_log.total_energy if energy_log is not None else 0.0,
         planning_entries=planner.planning_entries,
         events_processed=simulation.engine.processed_events,
+        failed_tasks=simulation.failed_tasks,
+        rejected_tasks=simulation.rejected_tasks,
     )
 
 

@@ -38,11 +38,18 @@ PowerListener = Callable[["Node"], None]
 
 
 class NodeState(enum.Enum):
-    """Lifecycle states of a server."""
+    """Lifecycle states of a server.
+
+    ``FAILED`` models a crash (fault injection through
+    :class:`~repro.scenario.events.NodeFailure`): the node stops drawing
+    power instantly, loses whatever was running on its cores, and can only
+    return to service through :meth:`Node.repair`.
+    """
 
     OFF = "off"
     BOOTING = "booting"
     ON = "on"
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -132,6 +139,7 @@ class Node:
         self._state = initial_state
         self._busy_cores = 0
         self._boot_completion_time: float | None = None
+        self._pre_failure_state = NodeState.ON
         self._completed_tasks = 0
         self._total_busy_core_seconds = 0.0
         self._power_listeners: list[PowerListener] = []
@@ -195,12 +203,54 @@ class Node:
         if self._power_listeners:
             self._power_changed()
 
+    def fail(self, *, now: float = 0.0) -> int:
+        """Crash the node: drop all running work, draw no power.
+
+        Returns the number of cores that were busy — the caller (the
+        simulation driver) owns the affected tasks and decides whether to
+        requeue or fail them.  An in-progress boot is abandoned.  Crashing
+        an already-FAILED node is an error: fault injection validates its
+        timelines, so a double failure is a bug, not a scenario.
+        """
+        if self._state is NodeState.FAILED:
+            raise RuntimeError(f"node {self.name} is already failed")
+        ensure_non_negative(now, "now")
+        lost_cores = self._busy_cores
+        self._busy_cores = 0
+        # A node that was OFF when it "crashed" must come back OFF, not
+        # powered on — otherwise a fail/repair pair would silently inflate
+        # energy totals.  An interrupted boot restarts from OFF too.
+        self._pre_failure_state = (
+            NodeState.ON if self._state is NodeState.ON else NodeState.OFF
+        )
+        self._state = NodeState.FAILED
+        self._boot_completion_time = None
+        if self._power_listeners:
+            self._power_changed()
+        return lost_cores
+
+    def repair(self) -> None:
+        """Return a FAILED node to its pre-failure power state.
+
+        A node that was ON when it crashed comes back ON with all cores
+        idle; one that was OFF (or mid-boot) comes back OFF and must be
+        booted through the normal provisioning path.
+        """
+        if self._state is not NodeState.FAILED:
+            raise RuntimeError(f"repair() on node {self.name} in state {self._state}")
+        self._state = self._pre_failure_state
+        if self._power_listeners:
+            self._power_changed()
+
     def begin_boot(self, now: float) -> float:
         """Start booting an OFF node at time ``now``.
 
         Returns the absolute time at which the boot completes.  Booting an
-        already-ON node is a no-op returning ``now``.
+        already-ON node is a no-op returning ``now``; a FAILED node cannot
+        boot — it must be repaired first.
         """
+        if self._state is NodeState.FAILED:
+            raise RuntimeError(f"cannot boot failed node {self.name}; repair() it first")
         if self._state is NodeState.ON:
             return now
         if self._state is NodeState.BOOTING:
@@ -274,7 +324,7 @@ class Node:
     # -- power ---------------------------------------------------------------
     def current_power(self) -> float:
         """Instantaneous power draw in watts for the current state."""
-        if self._state is NodeState.OFF:
+        if self._state is NodeState.OFF or self._state is NodeState.FAILED:
             return 0.0
         if self._state is NodeState.BOOTING:
             return self.spec.boot_power

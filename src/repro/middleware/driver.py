@@ -55,13 +55,14 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.infrastructure.energy import EnergyAccountant, EnergyReadout
+from repro.infrastructure.node import NodeState
 from repro.infrastructure.platform import Platform
 from repro.infrastructure.wattmeter import Wattmeter
 from repro.middleware.agents import MasterAgent
 from repro.middleware.client import Client
 from repro.middleware.requests import SchedulingOutcome, ServiceRequest
 from repro.middleware.sed import ServerDaemon
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import ScheduledEvent, SimulationEngine
 from repro.simulation.metrics import ExperimentMetrics, MetricsCollector
 from repro.simulation.task import Task, TaskExecution, TaskState
 from repro.simulation.trace import ExecutionTrace
@@ -83,6 +84,7 @@ class SimulationResult:
     energy_by_node: Mapping[str, float]
     rejected_tasks: int
     events_processed: int = 0
+    failed_tasks: int = 0
 
     @property
     def makespan(self) -> float:
@@ -147,7 +149,13 @@ class MiddlewareSimulation:
                 sample_period=sample_period,
             )
         self._rejected = 0
+        self._failed = 0
         self._pending_completions = 0
+        #: Per-node map of running tasks to their completion events, so a
+        #: node crash can cancel exactly the completions it invalidates.
+        self._inflight: dict[str, dict[int, tuple[ScheduledEvent, Task]]] = {
+            name: {} for name in self.seds
+        }
 
     @property
     def energy_log(self) -> EnergyReadout | None:
@@ -252,12 +260,13 @@ class MiddlewareSimulation:
                 cluster=node.cluster,
                 duration=duration,
             )
-        self.engine.schedule(
+        completion = self.engine.schedule(
             now + duration,
             self._complete_task,
             args=(sed, task, task.arrival_time, now, node_power, attributed_power),
             label=f"completion-{task.task_id}" if self._trace_on else "",
         )
+        self._inflight[node.name][task.task_id] = (completion, task)
         self._pending_completions += 1
 
     def _complete_task(
@@ -275,6 +284,7 @@ class MiddlewareSimulation:
         duration = now - started_at
         node.release_core(busy_seconds=duration)
         sed.queue.mark_completed(task)
+        del self._inflight[node.name][task.task_id]
         task.state = TaskState.COMPLETED
         energy = attributed_power * duration
         sed.record_request_power(node_power, energy)
@@ -300,6 +310,92 @@ class MiddlewareSimulation:
             )
         self._pending_completions -= 1
         self._try_start(sed)
+
+    # -- fault injection ---------------------------------------------------------------
+    def fail_node(self, name: str, *, requeue: bool = True) -> int:
+        """Crash node ``name`` at the engine's current time.
+
+        The crash is atomic from the simulation's point of view:
+
+        * every in-flight completion on the node is cancelled (the work is
+          lost — a crashed task contributes no execution record);
+        * the node's open power segment is closed at the crash instant by
+          the power-listener notification, and the node draws nothing
+          until :meth:`recover_node`;
+        * in-flight and queued tasks are *displaced*: with
+          ``requeue=True`` (default) each goes back through the Master
+          Agent — the failed node is no longer electable, so the task
+          lands on a surviving node or is rejected when none can serve
+          it; with ``requeue=False`` displaced tasks are marked
+          ``FAILED`` and counted in :attr:`failed_tasks`.
+
+        Returns the number of displaced tasks.  Failing an
+        already-failed node is a no-op returning 0.
+        """
+        node = self.platform.node(name)
+        if node.state is NodeState.FAILED:
+            return 0
+        self._sample_power()
+        now = self.engine.now
+        sed = self.seds.get(name)
+        displaced: list[Task] = []
+        inflight = self._inflight.get(name)
+        if inflight:
+            for completion, task in inflight.values():
+                completion.cancel()
+                self._pending_completions -= 1
+                if sed is not None:
+                    sed.queue.forget_running(task)
+                displaced.append(task)
+            inflight.clear()
+        node.fail(now=now)
+        if sed is not None:
+            displaced.extend(sed.queue.drain_pending())
+        if self._trace_on:
+            self.trace.record(
+                now, ExecutionTrace.NODE_FAILED, node=name, displaced=len(displaced)
+            )
+        for task in displaced:
+            self._handle_displaced(task, failed_node=name, requeue=requeue)
+        return len(displaced)
+
+    def recover_node(self, name: str) -> None:
+        """Repair node ``name``: back to ON with all cores idle.
+
+        Idempotent — recovering a node that is not failed does nothing, so
+        a recovery event racing a provisioning power-off stays harmless.
+        """
+        node = self.platform.node(name)
+        if node.state is not NodeState.FAILED:
+            return
+        self._sample_power()
+        node.repair()
+        if self._trace_on:
+            self.trace.record(self.engine.now, ExecutionTrace.NODE_RECOVERED, node=name)
+        sed = self.seds.get(name)
+        if sed is not None:
+            self._try_start(sed)
+
+    def _handle_displaced(self, task: Task, *, failed_node: str, requeue: bool) -> None:
+        now = self.engine.now
+        if not requeue:
+            task.state = TaskState.FAILED
+            self._failed += 1
+            if self._trace_on:
+                self.trace.record(
+                    now, ExecutionTrace.TASK_FAILED, task_id=task.task_id, node=failed_node
+                )
+            return
+        task.state = TaskState.SUBMITTED
+        if self._trace_on:
+            self.trace.record(
+                now,
+                ExecutionTrace.TASK_REQUEUED,
+                task_id=task.task_id,
+                failed_node=failed_node,
+            )
+        outcome = self.client.submit(task, submitted_at=now)
+        self._handle_outcome(task, outcome)
 
     def close(self) -> None:
         """Detach the energy accountant's power listeners from the nodes.
@@ -335,6 +431,7 @@ class MiddlewareSimulation:
             ),
             rejected_tasks=self._rejected,
             events_processed=self.engine.processed_events,
+            failed_tasks=self._failed,
         )
 
     # -- introspection -----------------------------------------------------------------------
@@ -342,6 +439,11 @@ class MiddlewareSimulation:
     def rejected_tasks(self) -> int:
         """Number of tasks rejected because no SeD could serve them."""
         return self._rejected
+
+    @property
+    def failed_tasks(self) -> int:
+        """Tasks lost to node crashes under ``requeue=False`` semantics."""
+        return self._failed
 
     @property
     def running_tasks(self) -> int:

@@ -9,9 +9,17 @@ best candidate first.  Each agent applies the same plug-in, so the Master
 Agent ends up with a globally sorted list from which the first SeD is
 elected.
 
-The paper's policies (POWER, PERFORMANCE, RANDOM and the GreenPerf/score
-based green scheduler) are implemented in :mod:`repro.core.policies` as
-subclasses of :class:`PluginScheduler`.
+The paper's policies are implemented in :mod:`repro.core.policies` as
+subclasses of :class:`PluginScheduler`:
+:class:`~repro.core.policies.PowerPolicy` (POWER),
+:class:`~repro.core.policies.PerformancePolicy` (PERFORMANCE),
+:class:`~repro.core.policies.RandomPolicy` (RANDOM),
+:class:`~repro.core.policies.GreenPerfPolicy` (GREENPERF) and the
+score-based :class:`~repro.core.policies.GreenSchedulerPolicy`
+(GREEN_SCORE); resolve them by name with
+:func:`~repro.core.policies.policy_by_name`.  These references are
+verified by ``tools/check_doc_links.py`` in CI, so they cannot go stale
+when policies move.
 """
 
 from __future__ import annotations

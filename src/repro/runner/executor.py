@@ -62,7 +62,7 @@ def _execute_placement(spec: ScenarioSpec) -> ScenarioResult:
     from repro.experiments.placement import run_placement_experiment
     from repro.experiments.presets import placement_config_for
 
-    _reject_unused(spec, horizon=None)
+    _reject_unused(spec, horizon=None, timeline=None)
     if spec.policy != "GREEN_SCORE":
         _reject_unused(spec, preference=0.0)
     if spec.policy != "RANDOM":
@@ -109,7 +109,7 @@ def _execute_heterogeneity(spec: ScenarioSpec) -> ScenarioResult:
         run_heterogeneity_point,
     )
 
-    _reject_unused(spec, preference=0.0, horizon=None, trace=None)
+    _reject_unused(spec, preference=0.0, horizon=None, trace=None, timeline=None)
     if spec.policy != "RANDOM":
         _reject_unused(spec, seed=0)
     if not spec.platform.startswith("types"):
@@ -141,12 +141,19 @@ def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
     from repro.experiments.adaptive import adaptive_config_for, run_adaptive_experiment
 
     # The Figure 9 scenario always schedules with GreenPerf and has no
-    # stochastic component.
+    # stochastic component (generated fault timelines are seeded at
+    # generation time, so a timeline file is deterministic content too).
     _reject_unused(spec, policy="GREENPERF", preference=0.0, seed=0, trace=None)
+    timeline = None
+    if spec.timeline is not None:
+        from repro.scenario.io import load_timeline
+
+        timeline = load_timeline(spec.timeline)
     config = adaptive_config_for(
         platform=spec.platform,
         workload=spec.workload,
         horizon=spec.horizon,
+        timeline=timeline,
         overrides=dict(spec.overrides),
     )
     result = run_adaptive_experiment(config, trace_level="off")
@@ -161,6 +168,8 @@ def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
                 result.total_energy, float(result.completed_tasks)
             ),
             "events": float(result.events_processed),
+            "failed_tasks": float(result.failed_tasks),
+            "rejected_tasks": float(result.rejected_tasks),
         },
         detail={
             "candidate_series": [

@@ -133,6 +133,36 @@ def trace_grid(
     )
 
 
+def timeline_grid(
+    timeline: str,
+    *,
+    platforms: Sequence[str] = ("quick", "half"),
+    horizons: Sequence[float] = (1800.0, 3600.0),
+    workload: str = "quick",
+) -> tuple[ScenarioSpec, ...]:
+    """An adaptive grid replaying one timeline file: platforms × horizons.
+
+    This is the grid behind ``repro sweep --timeline``: the same declared
+    event stream (tariffs, thermal excursions, node crashes, bursts — see
+    ``docs/SCENARIOS.md``) run on each platform size over each
+    observation horizon.  The defaults form a 2×2 grid; the *parsed*
+    timeline's content hash is folded into every scenario hash, so a
+    store built from one timeline stays correct when the file is edited
+    and survives the file being moved or reformatted.
+    """
+    base = ScenarioSpec(
+        experiment="adaptive",
+        platform=platforms[0],
+        workload=workload,
+        policy="GREENPERF",
+        horizon=horizons[0],
+        timeline=timeline,
+    )
+    return expand_grid(
+        SweepSpec(base, {"platform": tuple(platforms), "horizon": tuple(horizons)})
+    )
+
+
 _GRIDS: dict[str, Callable[[], tuple[ScenarioSpec, ...]]] = {
     "default": _default_grid,
     "smoke": _smoke_grid,

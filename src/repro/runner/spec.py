@@ -84,6 +84,19 @@ def trace_file_hash(path: str | Path) -> str:
     return digest.hexdigest()
 
 
+def timeline_content_hash(path: str | Path) -> str:
+    """Content hash of a timeline file (the timeline part of a spec hash).
+
+    Delegates to :func:`repro.scenario.io.timeline_file_hash`, which
+    hashes the *parsed* timeline: reformatting a TOML file or converting
+    it to JSON keeps cached results valid, editing an event invalidates
+    them.  Imported lazily so the runner package stays import-light.
+    """
+    from repro.scenario.io import timeline_file_hash
+
+    return timeline_file_hash(path)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One cell of an evaluation grid.
@@ -121,6 +134,16 @@ class ScenarioSpec:
         omitted; pass it explicitly (as :meth:`from_mapping` does when
         rebuilding store records) to identify a trace whose file is no
         longer present.
+    timeline:
+        Path of an event-timeline file (TOML/JSON, see
+        ``docs/SCENARIOS.md``) injected into the scenario — tariff
+        schedules, thermal excursions, node crashes, workload bursts.
+        Only the ``adaptive`` experiment family consumes timelines.
+    timeline_hash:
+        Content hash of the *parsed* timeline.  Computed from the file
+        when omitted; like ``trace_hash``, it is what participates in the
+        scenario hash, so moving or reformatting a timeline file keeps
+        cached results valid while editing any event invalidates them.
 
     A trace-driven scenario hashes by trace *content*, not path:
 
@@ -144,6 +167,8 @@ class ScenarioSpec:
     overrides: tuple[tuple[str, Scalar], ...] = ()
     trace: str | None = None
     trace_hash: str | None = None
+    timeline: str | None = None
+    timeline_hash: str | None = None
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENTS:
@@ -163,6 +188,14 @@ class ScenarioSpec:
                 object.__setattr__(self, "trace_hash", trace_file_hash(self.trace))
         elif self.trace_hash is not None:
             raise ValueError("trace_hash is meaningless without a trace")
+        if self.timeline is not None:
+            object.__setattr__(self, "timeline", str(self.timeline))
+            if self.timeline_hash is None:
+                object.__setattr__(
+                    self, "timeline_hash", timeline_content_hash(self.timeline)
+                )
+        elif self.timeline_hash is not None:
+            raise ValueError("timeline_hash is meaningless without a timeline")
         if not self.policy or not self.policy.strip():
             raise ValueError("policy must be a non-empty name")
         object.__setattr__(self, "policy", self.policy.strip().upper())
@@ -194,6 +227,8 @@ class ScenarioSpec:
             parts.append(f"h{self.horizon:g}")
         if self.trace is not None:
             parts.append(f"trace={Path(self.trace).name}")
+        if self.timeline is not None:
+            parts.append(f"timeline={Path(self.timeline).name}")
         parts.extend(f"{key}={value}" for key, value in self.overrides)
         return "/".join(parts)
 
@@ -216,6 +251,9 @@ class ScenarioSpec:
         if self.trace is not None:
             mapping["trace"] = self.trace
             mapping["trace_hash"] = self.trace_hash
+        if self.timeline is not None:
+            mapping["timeline"] = self.timeline
+            mapping["timeline_hash"] = self.timeline_hash
         return mapping
 
     @classmethod
@@ -235,6 +273,7 @@ class ScenarioSpec:
         """
         payload = {"version": SPEC_VERSION, **self.to_mapping()}
         payload.pop("trace", None)  # identity is the content, not the path
+        payload.pop("timeline", None)
         encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
@@ -249,6 +288,8 @@ class ScenarioSpec:
         """
         if "trace" in changes and "trace_hash" not in changes:
             changes["trace_hash"] = None
+        if "timeline" in changes and "timeline_hash" not in changes:
+            changes["timeline_hash"] = None
         return dataclasses.replace(self, **changes)
 
 

@@ -1,0 +1,430 @@
+"""Typed timeline events and the :class:`EventTimeline` container.
+
+This module generalises :mod:`repro.core.events` — the hand-coded quartet
+of the Figure 9 experiment — into a declarative event vocabulary:
+
+* :class:`TariffChange` — a scheduled electricity-cost step
+  (:class:`~repro.core.events.ElectricityCostEvent` with a serialisable
+  ``kind``);
+* :class:`ThermalExcursion` — an (by default unexpected) machine-room
+  temperature step (:class:`~repro.core.events.TemperatureEvent`);
+* :class:`NodeFailure` / :class:`NodeRecovery` — a node crash and its
+  repair, driven through the ``FAILED`` state of
+  :class:`~repro.infrastructure.node.Node`;
+* :class:`WorkloadBurst` — an arrival-rate multiplier over a time window,
+  consumed by closed-loop clients.
+
+The tariff/thermal events *subclass* the core energy events, so
+everything that consumes the existing scheduled/unexpected split — the
+:class:`~repro.core.provisioning.ProvisioningPlanner` look-ahead, the
+:class:`~repro.core.rules.AdministratorRules` — keeps working unchanged
+on timeline-built scenarios.
+
+An :class:`EventTimeline` is an ordered, validated tuple of events with a
+deterministic content hash; it is constructible in code, from a TOML/JSON
+file (:mod:`repro.scenario.io`) or from seeded generators
+(:mod:`repro.scenario.generators`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.events import ElectricityCostEvent, EnergyEvent, TemperatureEvent
+from repro.util.validation import ensure_non_negative, ensure_positive
+
+
+class TimelineError(ValueError):
+    """An event or timeline failed validation."""
+
+
+@dataclass(frozen=True)
+class TariffChange(ElectricityCostEvent):
+    """The electricity-cost ratio becomes ``cost`` at ``time`` (scheduled).
+
+    >>> TariffChange(time=3600.0, cost=0.8).kind
+    'tariff_change'
+    """
+
+    @property
+    def kind(self) -> str:
+        return "tariff_change"
+
+    def to_mapping(self) -> dict[str, object]:
+        """JSON/TOML-compatible representation."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "cost": self.cost,
+            "scheduled": self.scheduled,
+        }
+
+
+@dataclass(frozen=True)
+class ThermalExcursion(TemperatureEvent):
+    """The machine-room temperature becomes ``temperature`` °C at ``time``.
+
+    Unexpected by default, matching Events 3–4 of Figure 9; a recovery is
+    simply an excursion back below the threshold.
+
+    >>> ThermalExcursion(time=9600.0, temperature=30.0).scheduled
+    False
+    """
+
+    @property
+    def kind(self) -> str:
+        return "thermal_excursion"
+
+    def to_mapping(self) -> dict[str, object]:
+        """JSON/TOML-compatible representation."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "temperature": self.temperature,
+            "scheduled": self.scheduled,
+        }
+
+
+@dataclass(frozen=True)
+class NodeFailure(EnergyEvent):
+    """Node ``node`` crashes at ``time`` (unexpected).
+
+    The driver cancels the node's in-flight completions and requeues (or
+    fails) the affected tasks; the node's open power segment is closed at
+    the crash instant and the node draws nothing until repaired.
+    """
+
+    node: str = ""
+    scheduled: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise TimelineError("node_failure requires a non-empty node name")
+
+    @property
+    def kind(self) -> str:
+        return "node_failure"
+
+    def describe(self) -> str:
+        flavour = "scheduled" if self.scheduled else "unexpected"
+        return f"[{flavour}] node {self.node} fails at t={self.time:.0f}s"
+
+    def to_mapping(self) -> dict[str, object]:
+        """JSON/TOML-compatible representation."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "node": self.node,
+            "scheduled": self.scheduled,
+        }
+
+
+@dataclass(frozen=True)
+class NodeRecovery(EnergyEvent):
+    """Node ``node`` is repaired at ``time`` and returns to service."""
+
+    node: str = ""
+    scheduled: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise TimelineError("node_recovery requires a non-empty node name")
+
+    @property
+    def kind(self) -> str:
+        return "node_recovery"
+
+    def describe(self) -> str:
+        flavour = "scheduled" if self.scheduled else "unexpected"
+        return f"[{flavour}] node {self.node} recovers at t={self.time:.0f}s"
+
+    def to_mapping(self) -> dict[str, object]:
+        """JSON/TOML-compatible representation."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "node": self.node,
+            "scheduled": self.scheduled,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadBurst(EnergyEvent):
+    """The arrival rate is multiplied by ``factor`` over ``[time, time + duration)``.
+
+    Closed-loop clients read the product of all active bursts through
+    :meth:`EventTimeline.arrival_multiplier`; ``factor`` may be below 1.0
+    to model a lull.
+
+    >>> WorkloadBurst(time=60.0, duration=120.0, factor=2.0).window
+    (60.0, 180.0)
+    """
+
+    duration: float = 0.0
+    factor: float = 1.0
+    scheduled: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_positive(self.duration, "duration")
+        ensure_positive(self.factor, "factor")
+        if not math.isfinite(self.factor):
+            raise TimelineError(f"burst factor must be finite, got {self.factor!r}")
+
+    @property
+    def kind(self) -> str:
+        return "workload_burst"
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """The half-open ``[start, end)`` interval the burst covers."""
+        return (self.time, self.time + self.duration)
+
+    def active_at(self, now: float) -> bool:
+        """Whether the burst applies at ``now``."""
+        return self.time <= now < self.time + self.duration
+
+    def describe(self) -> str:
+        return (
+            f"[scheduled] arrival rate x{self.factor:g} over "
+            f"t=[{self.time:.0f}s, {self.time + self.duration:.0f}s)"
+        )
+
+    def to_mapping(self) -> dict[str, object]:
+        """JSON/TOML-compatible representation."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "duration": self.duration,
+            "factor": self.factor,
+            "scheduled": self.scheduled,
+        }
+
+
+TimelineEvent = EnergyEvent  # every timeline event is an EnergyEvent subclass
+
+#: Event constructors by serialised ``kind``, shared by the file loader.
+EVENT_KINDS: Mapping[str, type] = {
+    "tariff_change": TariffChange,
+    "thermal_excursion": ThermalExcursion,
+    "node_failure": NodeFailure,
+    "node_recovery": NodeRecovery,
+    "workload_burst": WorkloadBurst,
+}
+
+
+def event_from_mapping(mapping: Mapping[str, object]) -> EnergyEvent:
+    """Build one typed event from its ``kind``-discriminated mapping.
+
+    >>> event_from_mapping({"kind": "tariff_change", "time": 60.0, "cost": 0.5}).cost
+    0.5
+    """
+    data = dict(mapping)
+    kind = data.pop("kind", None)
+    if kind not in EVENT_KINDS:
+        raise TimelineError(
+            f"unknown event kind {kind!r}; expected one of {sorted(EVENT_KINDS)}"
+        )
+    try:
+        return EVENT_KINDS[kind](**data)
+    except TypeError as error:
+        raise TimelineError(f"invalid {kind} event {dict(mapping)!r}: {error}") from None
+
+
+class EventTimeline:
+    """An ordered, validated sequence of timeline events.
+
+    Events are sorted by ``(time, insertion order)`` at construction —
+    callers may supply them in any order.  Validation enforces the
+    crash/repair protocol: a :class:`NodeRecovery` must repair a node that
+    is currently failed, and a :class:`NodeFailure` must not crash a node
+    that is already down.
+
+    >>> timeline = EventTimeline([
+    ...     NodeRecovery(time=120.0, node="orion-0"),
+    ...     NodeFailure(time=60.0, node="orion-0"),
+    ... ])
+    >>> [event.kind for event in timeline]
+    ['node_failure', 'node_recovery']
+    """
+
+    def __init__(self, events: Iterable[EnergyEvent] = ()) -> None:
+        entries = tuple(events)
+        for event in entries:
+            if not isinstance(event, EnergyEvent):
+                raise TimelineError(
+                    f"timeline entries must be EnergyEvent instances, got "
+                    f"{type(event).__name__}"
+                )
+        ordered = sorted(enumerate(entries), key=lambda pair: (pair[1].time, pair[0]))
+        self._events: tuple[EnergyEvent, ...] = tuple(event for _, event in ordered)
+        self._validate()
+
+    def _validate(self) -> None:
+        down: set[str] = set()
+        for event in self._events:
+            if isinstance(event, NodeFailure):
+                if event.node in down:
+                    raise TimelineError(
+                        f"node {event.node!r} fails at t={event.time:g} while "
+                        f"already failed; insert a node_recovery first"
+                    )
+                down.add(event.node)
+            elif isinstance(event, NodeRecovery):
+                if event.node not in down:
+                    raise TimelineError(
+                        f"node {event.node!r} recovers at t={event.time:g} "
+                        f"without a preceding node_failure"
+                    )
+                down.discard(event.node)
+
+    # -- container protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EnergyEvent]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventTimeline):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"EventTimeline({len(self._events)} events)"
+
+    @property
+    def events(self) -> tuple[EnergyEvent, ...]:
+        """All events in chronological order."""
+        return self._events
+
+    # -- typed views ------------------------------------------------------------
+    @property
+    def tariff_changes(self) -> tuple[ElectricityCostEvent, ...]:
+        """Electricity-cost events, including plain core events."""
+        return tuple(e for e in self._events if isinstance(e, ElectricityCostEvent))
+
+    @property
+    def thermal_excursions(self) -> tuple[TemperatureEvent, ...]:
+        """Temperature events, including plain core events."""
+        return tuple(e for e in self._events if isinstance(e, TemperatureEvent))
+
+    @property
+    def node_events(self) -> tuple[EnergyEvent, ...]:
+        """Failures and recoveries, interleaved chronologically."""
+        return tuple(
+            e for e in self._events if isinstance(e, (NodeFailure, NodeRecovery))
+        )
+
+    @property
+    def bursts(self) -> tuple[WorkloadBurst, ...]:
+        """Workload bursts in chronological order."""
+        return tuple(e for e in self._events if isinstance(e, WorkloadBurst))
+
+    def energy_events(self) -> tuple[EnergyEvent, ...]:
+        """The tariff/thermal subset — what the Figure 9 quartet expressed.
+
+        This is the view handed to consumers of the legacy
+        ``AdaptiveExperimentConfig.events`` contract.
+        """
+        return tuple(
+            e
+            for e in self._events
+            if isinstance(e, (ElectricityCostEvent, TemperatureEvent))
+        )
+
+    def arrival_multiplier(self, now: float) -> float:
+        """Product of the factors of every burst active at ``now``.
+
+        >>> timeline = EventTimeline([WorkloadBurst(time=0.0, duration=10.0, factor=3.0)])
+        >>> timeline.arrival_multiplier(5.0), timeline.arrival_multiplier(10.0)
+        (3.0, 1.0)
+        """
+        ensure_non_negative(now, "now")
+        multiplier = 1.0
+        for burst in self.bursts:
+            if burst.active_at(now):
+                multiplier *= burst.factor
+        return multiplier
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last event effect (burst windows count to their end)."""
+        end = 0.0
+        for event in self._events:
+            if isinstance(event, WorkloadBurst):
+                end = max(end, event.window[1])
+            else:
+                end = max(end, event.time)
+        return end
+
+    # -- serialisation ------------------------------------------------------------
+    def to_mappings(self) -> list[dict[str, object]]:
+        """JSON/TOML-compatible event list (inverse of :meth:`from_mappings`)."""
+        mappings = []
+        for event in self._events:
+            to_mapping = getattr(event, "to_mapping", None)
+            if to_mapping is None:
+                raise TimelineError(
+                    f"{type(event).__name__} events cannot be serialised; use the "
+                    f"repro.scenario event types"
+                )
+            mappings.append(to_mapping())
+        return mappings
+
+    @classmethod
+    def from_mappings(cls, mappings: Iterable[Mapping[str, object]]) -> "EventTimeline":
+        """Build a timeline from ``kind``-discriminated event mappings."""
+        return cls(event_from_mapping(mapping) for mapping in mappings)
+
+    @classmethod
+    def from_energy_events(cls, events: Sequence[EnergyEvent]) -> "EventTimeline":
+        """Wrap plain :mod:`repro.core.events` instances in a timeline.
+
+        Core events are upgraded to their serialisable timeline
+        subclasses, preserving time, value and the scheduled flag.
+        """
+        upgraded: list[EnergyEvent] = []
+        for event in events:
+            if isinstance(event, (ElectricityCostEvent, TemperatureEvent)) and not (
+                isinstance(event, (TariffChange, ThermalExcursion))
+            ):
+                if isinstance(event, ElectricityCostEvent):
+                    event = TariffChange(
+                        time=event.time, cost=event.cost, scheduled=event.scheduled
+                    )
+                else:
+                    event = ThermalExcursion(
+                        time=event.time,
+                        temperature=event.temperature,
+                        scheduled=event.scheduled,
+                    )
+            upgraded.append(event)
+        return cls(upgraded)
+
+    def content_hash(self) -> str:
+        """Deterministic SHA-256 of the timeline content.
+
+        The hash is computed over the canonical (key-sorted,
+        minimal-separator) JSON encoding of :meth:`to_mappings`, so it is
+        independent of the file format the timeline came from: the same
+        events loaded from TOML and JSON hash identically, which is what
+        lets the sweep cache treat timelines as content-addressed.
+        """
+        encoded = json.dumps(
+            self.to_mappings(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def extended(self, events: Iterable[EnergyEvent]) -> "EventTimeline":
+        """A new timeline with ``events`` merged in (re-sorted, re-validated)."""
+        return EventTimeline((*self._events, *events))

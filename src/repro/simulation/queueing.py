@@ -43,6 +43,25 @@ class NodeQueue:
         """Record that ``task`` has finished executing on the node."""
         self._running_remaining_flop.pop(task.task_id, None)
 
+    def forget_running(self, task: Task) -> None:
+        """Drop a running task's bookkeeping without completing it.
+
+        Used when the node crashes: the task did not finish, but it no
+        longer occupies the node either.
+        """
+        self._running_remaining_flop.pop(task.task_id, None)
+
+    def drain_pending(self) -> tuple[Task, ...]:
+        """Remove and return every waiting task (oldest first).
+
+        Used when the node crashes: a dead node's queue cannot start
+        anything, so the driver takes the tasks back and requeues or
+        fails them.
+        """
+        drained = tuple(self._pending)
+        self._pending.clear()
+        return drained
+
     # -- introspection -------------------------------------------------------------
     @property
     def pending_tasks(self) -> tuple[Task, ...]:

@@ -33,6 +33,7 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     REJECTED = "rejected"
+    FAILED = "failed"
 
 
 @dataclass

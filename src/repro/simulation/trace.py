@@ -39,7 +39,11 @@ class ExecutionTrace:
     TASK_STARTED = "task_started"
     TASK_COMPLETED = "task_completed"
     TASK_REJECTED = "task_rejected"
+    TASK_FAILED = "task_failed"
+    TASK_REQUEUED = "task_requeued"
     NODE_BOOT_STARTED = "node_boot_started"
+    NODE_FAILED = "node_failed"
+    NODE_RECOVERED = "node_recovered"
     NODE_BOOT_COMPLETED = "node_boot_completed"
     NODE_POWERED_OFF = "node_powered_off"
     CANDIDATES_CHANGED = "candidates_changed"

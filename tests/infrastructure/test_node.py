@@ -156,3 +156,86 @@ class TestTaskDuration:
     def test_negative_flop_rejected(self, node):
         with pytest.raises(ValueError):
             node.task_duration(-1.0)
+
+
+class TestFailedState:
+    def test_fail_drops_running_work_and_power(self):
+        node = Node(make_spec(cores=4))
+        node.acquire_core()
+        node.acquire_core()
+        lost = node.fail(now=10.0)
+        assert lost == 2
+        assert node.state is NodeState.FAILED
+        assert node.busy_cores == 0
+        assert node.free_cores == 0
+        assert node.current_power() == 0.0
+        assert not node.is_available
+
+    def test_fail_abandons_an_in_progress_boot(self):
+        node = Node(make_spec(boot_time=30.0), initial_state=NodeState.OFF)
+        node.begin_boot(0.0)
+        node.fail(now=10.0)
+        assert node.state is NodeState.FAILED
+        assert node.boot_completion_time is None
+
+    def test_double_fail_rejected(self):
+        node = Node(make_spec())
+        node.fail()
+        with pytest.raises(RuntimeError, match="already failed"):
+            node.fail()
+
+    def test_repair_returns_to_service(self):
+        node = Node(make_spec(cores=2))
+        node.fail()
+        node.repair()
+        assert node.state is NodeState.ON
+        assert node.free_cores == 2
+        node.acquire_core()  # usable again
+        assert node.busy_cores == 1
+
+    def test_repair_requires_failed_state(self):
+        node = Node(make_spec())
+        with pytest.raises(RuntimeError, match="repair"):
+            node.repair()
+
+    def test_failed_node_cannot_boot(self):
+        node = Node(make_spec())
+        node.fail()
+        with pytest.raises(RuntimeError, match="repair"):
+            node.begin_boot(0.0)
+
+    def test_failed_node_cannot_run_tasks(self):
+        node = Node(make_spec())
+        node.fail()
+        with pytest.raises(RuntimeError):
+            node.acquire_core()
+
+    def test_fail_and_repair_notify_power_listeners(self):
+        node = Node(make_spec())
+        observed = []
+        node.add_power_listener(lambda n: observed.append(n.current_power()))
+        node.fail()
+        node.repair()
+        assert observed[0] == 0.0          # crash: draw collapses to zero
+        assert observed[1] == node.current_power()  # repair: idle draw again
+        assert observed[1] > 0.0
+
+    def test_repair_restores_pre_failure_off_state(self):
+        # A node that was OFF when it "crashed" must come back OFF —
+        # repair must not silently power nodes on and inflate energy.
+        node = Node(make_spec(), initial_state=NodeState.OFF)
+        node.fail()
+        node.repair()
+        assert node.state is NodeState.OFF
+        assert node.current_power() == 0.0
+
+    def test_repair_after_interrupted_boot_lands_off(self):
+        node = Node(make_spec(boot_time=30.0), initial_state=NodeState.OFF)
+        node.begin_boot(0.0)
+        node.fail(now=10.0)
+        node.repair()
+        assert node.state is NodeState.OFF
+        # ...and the normal boot path works again afterwards.
+        node.begin_boot(20.0)
+        node.complete_boot()
+        assert node.state is NodeState.ON

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+from pathlib import Path
 
 import pytest
 
@@ -170,6 +171,98 @@ class TestStoreIntegration:
         )
         assert outcome.executed == 1
         assert len(store) == 1
+
+
+#: The fault-injection timeline fixture: tariff drop, node crash with a
+#: workload burst across the outage, delayed repair, thermal excursion.
+FAULTY_TIMELINE = str(Path(__file__).parent.parent / "data" / "failures.toml")
+
+
+def faulty_grid():
+    """A 2×2 adaptive grid (platforms × horizons) driven by FAULTY_TIMELINE."""
+    from repro.runner.grids import timeline_grid
+
+    return timeline_grid(FAULTY_TIMELINE)
+
+
+class TestFaultySweepDeterminism:
+    """A sweep whose scenarios crash and repair nodes mid-run must stay
+    exactly as deterministic and cache-stable as a fault-free one."""
+
+    def test_grid_is_2x2(self):
+        scenarios = faulty_grid()
+        assert len(scenarios) == 4
+        assert all(s.experiment == "adaptive" for s in scenarios)
+        assert all(s.timeline == FAULTY_TIMELINE for s in scenarios)
+        hashes = {s.content_hash() for s in scenarios}
+        assert len(hashes) == 4
+
+    def test_four_workers_match_serial_byte_for_byte(self):
+        serial = run_scenarios(faulty_grid(), jobs=1)
+        parallel = run_scenarios(faulty_grid(), jobs=4)
+        assert [r.metrics for r in serial.results] == [
+            r.metrics for r in parallel.results
+        ]
+        assert [r.detail for r in serial.results] == [
+            r.detail for r in parallel.results
+        ]
+        assert format_sweep_summary(serial) == format_sweep_summary(parallel)
+
+    def test_rerun_is_all_cache_hits(self, tmp_path, monkeypatch):
+        path = tmp_path / "results.jsonl"
+        first = run_scenarios(faulty_grid(), jobs=4, store=path)
+        assert first.executed == 4 and first.cached == 0
+
+        def _boom(spec):
+            raise AssertionError(f"scenario {spec.scenario_id} was re-simulated")
+
+        monkeypatch.setattr(executor_module, "execute_scenario", _boom)
+        second = run_scenarios(faulty_grid(), store=path)
+        assert second.executed == 0 and second.cached == 4
+        assert [r.metrics for r in second.results] == [
+            r.metrics for r in first.results
+        ]
+
+    def test_moving_the_timeline_file_keeps_cache_hits(self, tmp_path):
+        store = tmp_path / "results.jsonl"
+        run_scenarios(faulty_grid(), store=store)
+        copied = tmp_path / "renamed.toml"
+        copied.write_text(Path(FAULTY_TIMELINE).read_text())
+        from repro.runner.grids import timeline_grid
+
+        moved = run_scenarios(timeline_grid(str(copied)), store=store)
+        assert moved.cached == 4 and moved.executed == 0
+
+    def test_editing_the_timeline_invalidates_the_cache(self, tmp_path):
+        store = tmp_path / "results.jsonl"
+        run_scenarios(faulty_grid(), store=store)
+        edited = tmp_path / "edited.toml"
+        edited.write_text(
+            Path(FAULTY_TIMELINE).read_text().replace("time = 600.0", "time = 700.0")
+        )
+        from repro.runner.grids import timeline_grid
+
+        changed = run_scenarios(timeline_grid(str(edited)), store=store)
+        assert changed.executed == 4 and changed.cached == 0
+
+    def test_crashes_actually_happen_in_the_sweep(self):
+        outcome = run_scenarios(faulty_grid()[:1])
+        metrics = outcome.results[0].metrics
+        # The scenario completes work despite the crash, and the failure
+        # counters exist (requeue semantics: nothing is lost for good).
+        assert metrics["task_count"] > 0
+        assert metrics["failed_tasks"] == 0.0
+
+    def test_timeline_rejected_outside_adaptive(self):
+        with pytest.raises(ValueError, match="do not use"):
+            execute_scenario(
+                ScenarioSpec(
+                    experiment="placement",
+                    platform="tiny",
+                    workload="tiny",
+                    timeline=FAULTY_TIMELINE,
+                )
+            )
 
 
 class TestProfiledRuns:

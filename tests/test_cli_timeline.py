@@ -1,0 +1,67 @@
+"""Tests for the timeline CLI: validate, inspect, sweep --timeline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIGURE9 = str(
+    Path(__file__).parent.parent / "src" / "repro" / "scenario" / "data" / "figure9.toml"
+)
+FAULTY = str(Path(__file__).parent / "data" / "failures.toml")
+
+
+class TestTimelineValidate:
+    def test_valid_file(self, capsys):
+        assert main(["timeline", "validate", FIGURE9]) == 0
+        out = capsys.readouterr().out
+        assert "valid timeline" in out
+        assert "tariff_change" in out
+        assert "content hash" in out
+
+    def test_faulty_fixture_is_valid(self, capsys):
+        assert main(["timeline", "validate", FAULTY]) == 0
+        out = capsys.readouterr().out
+        assert "node_failure" in out
+        assert "workload_burst" in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["timeline", "validate", "/nonexistent/storm.toml"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_timeline_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('[[events]]\nkind = "node_recovery"\ntime = 1.0\nnode = "x"\n')
+        assert main(["timeline", "validate", str(path)]) == 2
+        assert "without a preceding" in capsys.readouterr().err
+
+
+class TestTimelineInspect:
+    def test_lists_events(self, capsys):
+        assert main(["timeline", "inspect", FAULTY]) == 0
+        out = capsys.readouterr().out
+        assert "node_failure" in out
+        assert "unexpected" in out
+        assert "orion-0" in out
+
+
+class TestSweepTimeline:
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main(["sweep", "--timeline", FAULTY, "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 executed, 0 cached" in out
+        assert main(["sweep", "--timeline", FAULTY, "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 4 cached" in out
+
+    def test_exclusive_with_grid_and_trace(self, capsys):
+        assert main(["sweep", "--timeline", FAULTY, "--grid", "smoke"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_listed_in_sweep_help_listing(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        assert "--timeline" in capsys.readouterr().out

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""Check that relative Markdown links in the docs resolve.
+"""Check that documentation references resolve.
 
-Scans README.md and docs/**/*.md for ``[text](target)`` links and fails
-(exit 1) when a relative target does not exist on disk, or when a
-``#fragment`` does not match a heading of the target document.  External
-``http(s)://`` and ``mailto:`` links are not fetched — CI must not
-depend on the network — only their syntax is accepted.
+Two families of checks, both run by CI:
+
+* **Markdown links** — scans README.md and docs/**/*.md for
+  ``[text](target)`` links and fails (exit 1) when a relative target does
+  not exist on disk, or when a ``#fragment`` does not match a heading of
+  the target document.  External ``http(s)://`` and ``mailto:`` links are
+  not fetched — CI must not depend on the network — only their syntax is
+  accepted.
+* **Docstring cross-references** — scans ``src/**/*.py`` for Sphinx-style
+  roles (``:mod:`repro.x```, ``:class:`~repro.x.Y```, …) and fails when a
+  ``repro.*`` target does not import/resolve.  This is what keeps module
+  docstrings honest when code moves: a reference to a renamed policy
+  module fails the build instead of silently going stale.
 
 Run from the repository root (CI does)::
 
@@ -14,9 +22,14 @@ Run from the repository root (CI does)::
 
 from __future__ import annotations
 
+import importlib
 import re
 import sys
 from pathlib import Path
+
+# The checker resolves :mod:/:class:/... targets by importing them, which
+# needs the src layout on the path even outside an installed environment.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
 IMAGE = re.compile(r"!\[[^\]]*\]\(([^)\s]+)\)")
@@ -54,6 +67,69 @@ def check_file(path: Path, root: Path) -> list[str]:
     return errors
 
 
+#: Sphinx cross-reference roles used in this codebase's docstrings.
+ROLE = re.compile(r":(?:mod|class|func|meth|attr|data|exc):`~?([^`<>]+)`")
+
+
+def resolves_reference(target: str) -> bool:
+    """Whether a dotted ``repro.*`` reference imports/resolves.
+
+    The longest importable module prefix is imported and the remaining
+    components are resolved with ``getattr`` — the same split Sphinx
+    performs for ``py:obj`` targets.
+
+    >>> resolves_reference("repro.core.policies")
+    True
+    >>> resolves_reference("repro.core.policies.PowerPolicy")
+    True
+    >>> resolves_reference("repro.core.policies.FluxCapacitor")
+    False
+    >>> resolves_reference("repro.core.polices")  # typo'd module
+    False
+    """
+    parts = target.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj: object = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        for attribute in parts[split:]:
+            obj = getattr(obj, attribute, _MISSING)
+            if obj is _MISSING:
+                return False
+        return True
+    return False
+
+
+_MISSING = object()
+
+
+def check_code_references(root: Path) -> tuple[list[str], int]:
+    """Validate docstring cross-references in ``src/**/*.py``.
+
+    Returns ``(errors, reference_count)``.  Only ``repro.*`` targets are
+    checked: unqualified references (``:meth:`Node.fail```) need Sphinx's
+    resolution context, and stdlib/third-party targets are out of scope.
+    """
+    errors: list[str] = []
+    checked = 0
+    for path in sorted((root / "src").glob("**/*.py")):
+        text = path.read_text("utf-8")
+        for match in ROLE.finditer(text):
+            target = match.group(1)
+            if not target.startswith("repro."):
+                continue
+            checked += 1
+            if not resolves_reference(target):
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{path.relative_to(root)}:{line}: unresolvable reference "
+                    f"{target!r}"
+                )
+    return errors, checked
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     documents = [root / "README.md", *sorted((root / "docs").glob("**/*.md"))]
@@ -65,9 +141,14 @@ def main() -> int:
             continue
         checked += 1
         errors.extend(check_file(document, root))
+    reference_errors, references = check_code_references(root)
+    errors.extend(reference_errors)
     for error in errors:
         print(f"check_doc_links: {error}", file=sys.stderr)
-    print(f"check_doc_links: {checked} document(s), {len(errors)} broken link(s)")
+    print(
+        f"check_doc_links: {checked} document(s), {references} code reference(s), "
+        f"{len(errors)} problem(s)"
+    )
     return 1 if errors else 0
 
 

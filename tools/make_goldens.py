@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-figure fixtures under ``tests/data/golden/``.
+
+The golden files lock the paper's headline numbers — Table II makespan and
+energy totals, and the Figure 9 candidate/power trajectory — against
+silent drift: ``tests/test_goldens.py`` re-runs the same scenarios in
+quantized energy mode and asserts bit-identical agreement with these
+fixtures.  Refactors of the engine, the energy accountant or the event
+machinery must reproduce these numbers exactly (JSON serialises doubles
+through ``repr``, which round-trips, so equality here is equality of the
+underlying bits).
+
+Run from the repository root after an *intentional* numerical change::
+
+    PYTHONPATH=src python tools/make_goldens.py
+
+and commit the regenerated fixtures together with the change that moved
+them.  The tool prints a diff summary when a fixture changes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden"
+
+#: Preset scales captured per figure.  "quick" keeps the regression tests
+#: fast; "paper" locks the actual published-figure numbers.
+SCALES = ("quick", "paper")
+
+
+def table2_golden() -> dict:
+    """Makespan/energy totals per policy (Table II, Figure 5)."""
+    from repro.experiments.placement import run_policy_comparison
+    from repro.experiments.presets import placement_config_for
+
+    scales = {}
+    for scale in SCALES:
+        comparison = run_policy_comparison(
+            config=placement_config_for(scale, scale)
+        )
+        policies = {}
+        for policy in comparison.policies:
+            metrics = comparison.metrics(policy)
+            policies[policy] = {
+                "makespan": metrics.makespan,
+                "total_energy": metrics.total_energy,
+                "task_count": metrics.task_count,
+                "energy_per_cluster": dict(metrics.energy_per_cluster),
+            }
+        scales[scale] = policies
+    return {"energy_mode": "quantized", "scales": scales}
+
+
+def figure9_golden() -> dict:
+    """Candidate-count and windowed-power trajectories (Figure 9)."""
+    from repro.experiments.adaptive import adaptive_config_for, run_adaptive_experiment
+
+    scales = {}
+    for scale in SCALES:
+        result = run_adaptive_experiment(adaptive_config_for(workload=scale))
+        scales[scale] = {
+            "candidate_series": [[time, count] for time, count in result.candidate_series],
+            "power_series": [[time, power] for time, power in result.power_series],
+            "completed_tasks": result.completed_tasks,
+            "total_energy": result.total_energy,
+            "total_nodes": result.total_nodes,
+        }
+    return {"energy_mode": "quantized", "scales": scales}
+
+
+GOLDENS = {
+    "table2.json": table2_golden,
+    "figure9.json": figure9_golden,
+}
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    changed = 0
+    for name, build in GOLDENS.items():
+        path = GOLDEN_DIR / name
+        payload = json.dumps(build(), indent=2, sort_keys=True) + "\n"
+        previous = path.read_text("utf-8") if path.exists() else None
+        if payload == previous:
+            print(f"make_goldens: {name}: unchanged")
+            continue
+        path.write_text(payload, "utf-8")
+        changed += 1
+        state = "rewritten" if previous is not None else "created"
+        print(f"make_goldens: {name}: {state}")
+    print(f"make_goldens: {len(GOLDENS)} fixture(s), {changed} changed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
