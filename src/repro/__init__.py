@@ -33,9 +33,15 @@ contribution on top:
     selection (Algorithm 1) and the adaptive provisioning planner that
     reacts to energy-related events.
 
+``repro.lab``
+    The experiment-assembly layer: a :class:`~repro.lab.session.LabSession`
+    composes platform × workload × policy × provisioning × timeline,
+    validates the combination once and runs it through one shared path —
+    any trace and any timeline are legal in any experiment family.
+
 ``repro.experiments``
     Ready-to-run reproductions of every table and figure in the paper's
-    evaluation section.
+    evaluation section, as thin post-processing over lab runs.
 
 ``repro.scenario``
     Declarative event timelines and fault injection: typed events

@@ -1,3 +1,18 @@
-"""Single source of truth for the package version."""
+"""Single source of truth for the package version.
 
-__version__ = "1.0.0"
+``_VERSION`` is the literal the build backend reads (see
+``[tool.setuptools.dynamic]`` in ``pyproject.toml``).  At runtime
+:data:`__version__` prefers the installed distribution's metadata — so
+``repro --version`` reports what pip actually installed — and falls back
+to the literal for ``PYTHONPATH=src`` checkouts that were never
+installed.
+"""
+
+from importlib.metadata import PackageNotFoundError, version
+
+_VERSION = "1.1.0"
+
+try:
+    __version__ = version("repro-green-scheduling")
+except PackageNotFoundError:  # pragma: no cover - uninstalled source checkout
+    __version__ = _VERSION

@@ -13,11 +13,13 @@ Usage (after ``pip install -e .``)::
     repro table1                 # the experimental infrastructure
     repro table3                 # the simulated cluster specs
     repro sweep                  # parallel scenario sweep with cached store
+    repro lab run ...            # one ad-hoc component composition
     repro trace convert ...      # real SWF log -> replayable CSV trace
     repro trace stats ...        # workload statistics of a trace
     repro trace inspect ...      # header directives + leading records
     repro timeline validate ...  # check an event-timeline file
     repro timeline inspect ...   # list a timeline's events
+    repro --version              # the installed package version
 
 (``python -m repro …`` works identically without installing.)
 
@@ -33,13 +35,22 @@ entirely from cache), ``--force`` bypasses the cache, ``--filter``
 restricts the grid to scenarios whose id contains a substring, and
 ``--profile`` appends a per-scenario wall-time / events-per-second table.
 ``repro sweep --trace FILE`` replaces the named grid with a
-platforms × policies grid replaying a converted trace (the trace
-content hash keys the store, so edits invalidate exactly the affected
-entries).  ``repro sweep --timeline FILE`` replaces it with a
-platforms × horizons adaptive grid driven by a declarative event
-timeline — tariff schedules, thermal excursions, node crashes and
-workload bursts (``docs/SCENARIOS.md``); the *parsed* timeline's
-content hash keys the store.
+platforms × policies grid replaying a trace (the trace content hash
+keys the store, so edits invalidate exactly the affected entries).
+``repro sweep --timeline FILE`` replaces it with a platforms × horizons
+adaptive grid driven by a declarative event timeline — tariff
+schedules, thermal excursions, node crashes and workload bursts
+(``docs/SCENARIOS.md``); the *parsed* timeline's content hash keys the
+store.  Giving both (equivalently ``--grid cross``) composes them into
+the trace × timeline × provisioning cross grid — a recorded request
+stream, replayed under fault injection, both with fixed policies and
+through the adaptive provisioning planner.
+
+``repro lab run`` executes one ad-hoc composition through
+:mod:`repro.lab` — any workload (synthetic preset, ``--trace``) × any
+policy × any event timeline on any experiment family — and prints the
+uniform metric summary.  ``--set KEY=VALUE`` overrides individual
+experiment parameters.
 
 ``repro timeline`` works with timeline files: ``validate`` parses and
 validates one (exit 2 on errors), ``inspect`` lists its events.
@@ -75,8 +86,10 @@ from repro.experiments.reporting import (
     format_table2,
     format_task_distribution,
 )
+from repro._version import __version__
 from repro.runner.executor import run_scenarios
-from repro.runner.grids import grid, named_grids, timeline_grid, trace_grid
+from repro.runner.grids import cross_grid, grid, named_grids, timeline_grid, trace_grid
+from repro.runner.spec import ScenarioSpec
 from repro.scenario import load_timeline
 from repro.runner.reporting import (
     SweepProgressPrinter,
@@ -178,21 +191,29 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         lines = ["Available grids:"]
         for name in named_grids():
             lines.append(f"  {name:<16}{len(grid(name))} scenarios")
-        lines.append("  --trace FILE    platforms x policies replay of a CSV trace")
+        lines.append("  --trace FILE    platforms x policies replay of a trace")
         lines.append("  --timeline FILE platforms x horizons adaptive run of a timeline")
-        return "\n".join(lines)
-    exclusive = [
-        flag
-        for flag, value in (
-            ("--grid", args.grid),
-            ("--trace", args.trace),
-            ("--timeline", args.timeline),
+        lines.append(
+            "  --trace FILE --timeline FILE (or --grid cross): the trace x "
+            "timeline x provisioning cross grid"
         )
-        if value is not None
-    ]
-    if len(exclusive) > 1:
-        raise ValueError(f"{' and '.join(exclusive)} are mutually exclusive")
-    if args.trace is not None:
+        return "\n".join(lines)
+    if args.grid is not None and args.grid != "cross" and (
+        args.trace is not None or args.timeline is not None
+    ):
+        raise ValueError(
+            "--grid is mutually exclusive with --trace/--timeline "
+            "(except --grid cross, which composes both)"
+        )
+    if args.grid == "cross" or (args.trace is not None and args.timeline is not None):
+        if args.trace is None or args.timeline is None:
+            raise ValueError(
+                "the cross grid composes a trace with a timeline; "
+                "give both --trace FILE and --timeline FILE"
+            )
+        scenarios = cross_grid(args.trace, args.timeline)
+        grid_name = f"cross:{Path(args.trace).name}+{Path(args.timeline).name}"
+    elif args.trace is not None:
         scenarios = trace_grid(args.trace)
         grid_name = f"trace:{Path(args.trace).name}"
     elif args.timeline is not None:
@@ -218,6 +239,62 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     if args.profile:
         report += "\n" + format_sweep_profile(outcome)
     return report
+
+
+# -- repro lab --------------------------------------------------------------------------
+
+
+def _parse_override(text: str) -> tuple[str, object]:
+    """Parse one ``--set KEY=VALUE`` into a typed override pair."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise ValueError(f"--set expects KEY=VALUE, got {text!r}")
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            pass
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
+    return key, raw
+
+
+def _cmd_lab_run(args: argparse.Namespace) -> str:
+    from repro.lab.compat import session_for_spec
+
+    policy = args.policy
+    if policy is None:
+        policy = "GREENPERF" if args.family == "adaptive" else "POWER"
+    spec = ScenarioSpec(
+        experiment=args.family,
+        platform=args.platform,
+        workload="trace" if args.trace is not None else args.workload,
+        policy=policy,
+        preference=args.preference,
+        seed=args.seed,
+        horizon=args.horizon,
+        trace=args.trace,
+        timeline=args.timeline,
+        overrides=dict(_parse_override(item) for item in args.set or ()),
+    )
+    session = session_for_spec(spec)
+    result = session.run()
+    rows = [
+        (name, f"{value:.6g}") for name, value in sorted(result.metrics.items())
+    ]
+    lines = [
+        f"Lab run — {spec.scenario_id} ({result.backend} backend)",
+        render_table(("metric", "value"), rows),
+    ]
+    if result.candidate_series:
+        final = result.candidate_series[-1]
+        lines.append(
+            f"provisioning: {len(result.candidate_series)} checks, "
+            f"final candidate pool {final[1]} at t={final[0]:g}s"
+        )
+    if result.timeline is not None:
+        lines.append(f"timeline: {len(result.timeline)} event(s) injected")
+    return "\n".join(lines)
 
 
 # -- repro trace ------------------------------------------------------------------------
@@ -437,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the tables and figures of the green-scheduling paper.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, (help_text, handler) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
@@ -509,6 +589,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-scenario wall time and events/sec after the summary",
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    lab = subparsers.add_parser(
+        "lab", help="compose and run ad-hoc experiments through repro.lab"
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+    lab_run = lab_sub.add_parser(
+        "run",
+        help="run one component composition and print its metric summary",
+        description="Compose platform x workload x policy x provisioning x "
+        "timeline through repro.lab and run it once.  Any trace and any "
+        "timeline are legal on any family; --set overrides individual "
+        "experiment parameters (e.g. --set check_period=300).",
+    )
+    lab_run.add_argument(
+        "--family",
+        choices=("placement", "heterogeneity", "adaptive"),
+        default="placement",
+        help="experiment family providing presets and post-processing "
+        "(default: placement; adaptive adds the provisioning planner)",
+    )
+    lab_run.add_argument(
+        "--platform",
+        default="quick",
+        help="platform preset: paper/half/quick/tiny, or types2..types4 "
+        "for the heterogeneity family (default: quick)",
+    )
+    lab_run.add_argument(
+        "--workload",
+        default="quick",
+        help="workload preset (default: quick); ignored when --trace is given",
+    )
+    lab_run.add_argument(
+        "--policy",
+        default=None,
+        help="scheduling policy (default: POWER; GREENPERF for adaptive)",
+    )
+    lab_run.add_argument(
+        "--preference",
+        type=float,
+        default=0.0,
+        help="GREEN_SCORE user-preference weight in [-1, 1] (default: 0)",
+    )
+    lab_run.add_argument(
+        "--seed", type=int, default=0, help="RANDOM-policy seed (default: 0)"
+    )
+    lab_run.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="observation-window cap in seconds (adaptive duration)",
+    )
+    lab_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay this trace file (CSV or raw .swf) as the workload",
+    )
+    lab_run.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="inject this event-timeline file (TOML/JSON) into the run",
+    )
+    lab_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override one experiment parameter (repeatable)",
+    )
+    lab_run.set_defaults(handler=_cmd_lab_run)
 
     trace = subparsers.add_parser(
         "trace", help="ingest, inspect and summarise workload trace files"

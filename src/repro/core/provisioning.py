@@ -314,14 +314,22 @@ class ProvisioningPlanner:
         if self.engine is not None and completion > now:
             self.engine.schedule(
                 completion,
-                lambda node=node: self._finish_boot(node),
+                lambda node=node, completion=completion: self._finish_boot(
+                    node, completion
+                ),
                 label=f"boot-{node_name}",
             )
         else:
-            self._finish_boot(node)
+            self._finish_boot(node, completion)
 
-    def _finish_boot(self, node: Node) -> None:
-        if node.state is NodeState.BOOTING:
+    def _finish_boot(self, node: Node, completion: float | None = None) -> None:
+        # The promised-completion check invalidates stale events: a crash
+        # (or power-off) mid-boot abandons the boot and clears
+        # ``boot_ready_at``, and a later re-boot promises a *different*
+        # completion time — the old engine event must not complete it early.
+        if node.state is NodeState.BOOTING and (
+            completion is None or node.boot_ready_at == completion
+        ):
             node.complete_boot()
             if self.trace is not None:
                 time = self.engine.now if self.engine is not None else 0.0

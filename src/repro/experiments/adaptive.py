@@ -32,27 +32,24 @@ the exact bits of the historical inline-event implementation.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.events import EnergyEvent
-from repro.core.policies import GreenPerfPolicy
-from repro.core.provisioning import ProvisioningConfig, ProvisioningPlanner
-from repro.core.rules import AdministratorRules
-from repro.experiments.presets import (
-    PLATFORM_PRESETS,
-    PlacementExperimentConfig,
-    preset_value,
+from repro.experiments.presets import PLATFORM_PRESETS, preset_value
+from repro.lab.components import (
+    PlatformSource,
+    PolicySource,
+    ProvisioningSource,
+    WorkloadSource,
 )
-from repro.middleware.driver import MiddlewareSimulation
-from repro.middleware.hierarchy import build_hierarchy
+from repro.lab.session import LabSession
 from repro.runner.spec import ScenarioSpec, SweepSpec
-from repro.scenario.apply import build_schedules, install_timeline
-from repro.scenario.events import EventTimeline, TariffChange, ThermalExcursion
+from repro.scenario.events import EventTimeline
 from repro.scenario.io import bundled_timeline
-from repro.simulation.task import Task
 from repro.util.validation import ensure_positive
 
 _MINUTE = 60.0
@@ -84,25 +81,9 @@ def default_adaptive_timeline(*, minute: float = _MINUTE) -> EventTimeline:
     if minute == _MINUTE:
         return timeline
     scale = minute / _MINUTE
-    rescaled = []
-    for event in timeline:
-        if isinstance(event, TariffChange):
-            rescaled.append(
-                TariffChange(
-                    time=event.time * scale, cost=event.cost, scheduled=event.scheduled
-                )
-            )
-        elif isinstance(event, ThermalExcursion):
-            rescaled.append(
-                ThermalExcursion(
-                    time=event.time * scale,
-                    temperature=event.temperature,
-                    scheduled=event.scheduled,
-                )
-            )
-        else:  # pragma: no cover - figure9.toml only carries the two kinds
-            raise ValueError(f"cannot rescale {event.kind} events")
-    return EventTimeline(rescaled)
+    return EventTimeline(
+        dataclasses.replace(event, time=event.time * scale) for event in timeline
+    )
 
 
 def default_adaptive_events(*, minute: float = _MINUTE) -> tuple[EnergyEvent, ...]:
@@ -122,6 +103,11 @@ class AdaptiveExperimentConfig:
     Figure 9 quartet).  A timeline may carry node failures/recoveries and
     workload bursts in addition to the tariff/thermal events — see
     ``docs/SCENARIOS.md``.
+
+    When ``trace_path`` is set, the closed-loop capacity client is
+    replaced by an open-loop replay of that trace (CSV or raw SWF)
+    through the provisioned platform — a real recorded week under
+    adaptive provisioning, optionally under a crash storm.
     """
 
     duration: float = 260 * _MINUTE
@@ -138,6 +124,7 @@ class AdaptiveExperimentConfig:
     manage_power: bool = True
     base_temperature: float = 21.0
     requeue_on_failure: bool = True
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.duration, "duration")
@@ -194,6 +181,7 @@ def adaptive_config_for(
     *,
     horizon: float | None = None,
     timeline: EventTimeline | None = None,
+    trace: str | None = None,
     overrides: Mapping[str, object] | None = None,
 ) -> AdaptiveExperimentConfig:
     """Build an :class:`AdaptiveExperimentConfig` from preset names.
@@ -205,10 +193,23 @@ def adaptive_config_for(
     Figure 9 event timeline, and ``overrides`` replaces individual config
     fields — the resolution path of adaptive
     :class:`~repro.runner.spec.ScenarioSpec` values.
+
+    The special preset ``workload="trace"`` replays the trace file named
+    by ``trace`` through the provisioned platform instead of running the
+    closed-loop capacity client (and is the only workload that accepts
+    ``trace``).
     """
-    params: dict[str, object] = dict(
-        preset_value(ADAPTIVE_WORKLOAD_PRESETS, workload, "adaptive workload")
-    )
+    if (trace is not None) != (workload == "trace"):
+        raise ValueError(
+            "workload='trace' and trace=<path> must be given together; "
+            f"got workload={workload!r}, trace={trace!r}"
+        )
+    if workload == "trace":
+        params: dict[str, object] = {"trace_path": str(trace)}
+    else:
+        params = dict(
+            preset_value(ADAPTIVE_WORKLOAD_PRESETS, workload, "adaptive workload")
+        )
     params["nodes_per_cluster"] = preset_value(PLATFORM_PRESETS, platform, "platform")
     if overrides:
         params.update(overrides)
@@ -216,7 +217,14 @@ def adaptive_config_for(
         params["duration"] = horizon
     if timeline is not None:
         params["timeline"] = timeline
-    return AdaptiveExperimentConfig(**params)
+    try:
+        return AdaptiveExperimentConfig(**params)
+    except TypeError:
+        valid = sorted(f.name for f in dataclasses.fields(AdaptiveExperimentConfig))
+        unknown = sorted(set(params) - set(valid))
+        raise ValueError(
+            f"unknown adaptive parameter(s) {unknown}; valid overrides: {valid}"
+        ) from None
 
 
 def adaptive_sweep(
@@ -241,6 +249,47 @@ def adaptive_sweep(
     )
 
 
+def adaptive_session(
+    config: AdaptiveExperimentConfig | None = None,
+    *,
+    energy_mode: str = "quantized",
+    trace_level: str = "full",
+) -> LabSession:
+    """The adaptive experiment as a composable lab session.
+
+    Platform size, provisioning cadence and the event timeline come from
+    ``config``; the workload is the closed-loop capacity client unless
+    ``config.trace_path`` replays a recorded trace through the
+    provisioned platform instead.
+    """
+    config = config or AdaptiveExperimentConfig()
+    if config.trace_path is not None:
+        workload = WorkloadSource.from_trace(config.trace_path)
+    else:
+        workload = WorkloadSource.capacity(
+            task_flop=config.task_flop, client_tick=config.client_tick
+        )
+    return LabSession(
+        platform=PlatformSource.table1(config.nodes_per_cluster),
+        workload=workload,
+        policy=PolicySource("GREENPERF"),
+        provisioning=ProvisioningSource(
+            check_period=config.check_period,
+            lookahead=config.lookahead,
+            ramp_up_step=config.ramp_up_step,
+            ramp_down_step=config.ramp_down_step,
+            manage_power=config.manage_power,
+        ),
+        timeline=config.effective_timeline(),
+        horizon=config.duration,
+        energy_mode=energy_mode,
+        trace_level=trace_level,
+        sample_period=config.sample_period,
+        base_temperature=config.base_temperature,
+        requeue_on_failure=config.requeue_on_failure,
+    )
+
+
 def run_adaptive_experiment(
     config: AdaptiveExperimentConfig | None = None,
     *,
@@ -254,136 +303,24 @@ def run_adaptive_experiment(
     run with ``trace_level="off"`` (the planner's own low-frequency
     status-check records are kept either way — the result reads none of
     the per-task lifecycle events).
+
+    Assembly happens through :func:`adaptive_session` (the
+    :mod:`repro.lab` path); the golden suite pins this path to the exact
+    bits of the pre-lab implementation.
     """
-    config = config or AdaptiveExperimentConfig()
-    timeline = config.effective_timeline()
-    platform_config = PlacementExperimentConfig(
-        nodes_per_cluster=config.nodes_per_cluster
+    session = adaptive_session(
+        config, energy_mode=energy_mode, trace_level=trace_level
     )
-    platform = platform_config.build_platform()
-    scheduler = GreenPerfPolicy()
-    master, seds = build_hierarchy(platform, scheduler=scheduler)
-    simulation = MiddlewareSimulation(
-        platform,
-        master,
-        seds,
-        sample_period=config.sample_period,
-        policy_name=scheduler.name,
-        energy_mode=energy_mode,
-        trace_level=trace_level,
-    )
-
-    electricity, thermal = build_schedules(
-        timeline, base_temperature=config.base_temperature
-    )
-    install_timeline(simulation, timeline, requeue=config.requeue_on_failure)
-    rules = AdministratorRules.paper_defaults()
-    planner = ProvisioningPlanner(
-        platform,
-        master,
-        rules,
-        electricity,
-        thermal,
-        seds=seds,
-        engine=simulation.engine,
-        trace=simulation.trace,
-        config=ProvisioningConfig(
-            check_period=config.check_period,
-            lookahead=config.lookahead,
-            ramp_up_step=config.ramp_up_step,
-            ramp_down_step=config.ramp_down_step,
-            manage_power=config.manage_power,
-        ),
-    )
-    planner.install()
-    planner.start(first_check_at=0.0)
-
-    # Closed-loop client: every tick, top the in-flight request count up to
-    # the capacity (cores) of the current candidate nodes, stopping new
-    # submissions shortly before the end of the experiment so the last
-    # tasks can complete within the observation window.
-    submitted = 0
-    submission_deadline = config.duration - config.check_period
-
-    def _capacity() -> int:
-        total = 0
-        for name in planner.candidate_nodes:
-            node = platform.node(name)
-            if node.is_available:
-                total += node.spec.cores
-        return max(total, 1)
-
-    def _in_flight() -> int:
-        return (
-            submitted
-            - simulation.metrics.task_count
-            - simulation.rejected_tasks
-            - simulation.failed_tasks
-        )
-
-    def _client_tick() -> None:
-        nonlocal submitted
-        now = simulation.engine.now
-        if now <= submission_deadline:
-            target = _capacity()
-            multiplier = timeline.arrival_multiplier(now)
-            if multiplier != 1.0:
-                # Bursts scale the closed-loop pressure target; the
-                # equality guard keeps burst-free runs (Figure 9)
-                # bit-identical to the historical inline-event path.
-                target = max(1, round(target * multiplier))
-            deficit = target - _in_flight()
-            for _ in range(max(deficit, 0)):
-                task = Task(
-                    flop=config.task_flop,
-                    arrival_time=now,
-                    client="adaptive-client",
-                )
-                submitted += 1
-                simulation.inject_task(task)
-            simulation.engine.schedule_in(
-                config.client_tick, _client_tick, label="client-tick"
-            )
-
-    simulation.engine.schedule(0.0, _client_tick, label="client-tick")
-    simulation.run(until=config.duration)
-
-    power_series = _windowed_power(
-        simulation, window=config.check_period, duration=config.duration
-    )
-    energy_log = simulation.energy_log
+    lab = session.run()
     return AdaptiveExperimentResult(
-        candidate_series=planner.candidate_history(),
-        power_series=power_series,
-        events=timeline.events,
-        total_nodes=len(platform),
-        completed_tasks=simulation.metrics.task_count,
-        total_energy=energy_log.total_energy if energy_log is not None else 0.0,
-        planning_entries=planner.planning_entries,
-        events_processed=simulation.engine.processed_events,
-        failed_tasks=simulation.failed_tasks,
-        rejected_tasks=simulation.rejected_tasks,
+        candidate_series=lab.candidate_series,
+        power_series=lab.power_series,
+        events=lab.timeline.events,
+        total_nodes=lab.total_nodes,
+        completed_tasks=lab.completed_tasks,
+        total_energy=lab.total_energy,
+        planning_entries=lab.planning_entries,
+        events_processed=int(lab.metrics["events"]),
+        failed_tasks=int(lab.metrics["failed_tasks"]),
+        rejected_tasks=int(lab.metrics["rejected_tasks"]),
     )
-
-
-def _windowed_power(
-    simulation: MiddlewareSimulation, *, window: float, duration: float
-) -> tuple[tuple[float, float], ...]:
-    """Average platform power per ``window`` seconds (the crosses of Figure 9)."""
-    energy_log = simulation.energy_log
-    if energy_log is None:
-        return ()
-    trace = energy_log.power_trace()
-    if trace.size == 0:
-        return ()
-    times = trace[:, 0]
-    watts = trace[:, 1]
-    series: list[tuple[float, float]] = []
-    start = 0.0
-    while start < duration:
-        end = start + window
-        mask = (times >= start) & (times < end)
-        if mask.any():
-            series.append((end, float(watts[mask].mean())))
-        start = end
-    return tuple(series)

@@ -30,27 +30,20 @@ relies on the heterogeneity of servers".
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
-from repro.core.policies import policy_by_name
 from repro.infrastructure.node import NodeSpec
-from repro.infrastructure.platform import (
-    orion_spec,
-    simulated_cluster_specs,
-    taurus_spec,
+from repro.lab.components import (
+    PlatformSource,
+    PolicySource,
+    WorkloadSource,
+    server_type_specs,
 )
-from repro.middleware.estimation import EstimationTags, EstimationVector
-from repro.middleware.plugin_scheduler import CandidateEntry
-from repro.middleware.requests import ServiceRequest
+from repro.lab.session import LabSession
 from repro.runner.executor import run_scenarios
 from repro.runner.spec import ScenarioSpec, SweepSpec
 from repro.runner.store import ScenarioResult
-from repro.simulation.task import Task
-from repro.util.validation import ensure_positive
 
 #: Policies plotted as single points in Figures 6 and 7.
 POINT_POLICIES = ("POWER", "GREENPERF", "PERFORMANCE")
@@ -84,13 +77,30 @@ HETEROGENEITY_WORKLOAD_PRESETS: Mapping[str, Mapping[str, float]] = {
 def heterogeneity_params_for(
     workload: str, *, overrides: Mapping[str, object] | None = None
 ) -> dict[str, object]:
-    """Resolve a workload preset name (plus overrides) to run parameters."""
+    """Resolve a workload preset name (plus overrides) to run parameters.
+
+    The special preset ``workload="trace"`` (an open-loop replay through
+    the single-task servers) starts from the paper-scale server fleet;
+    the closed-loop client parameters it carries are ignored by the
+    replay.
+    """
     from repro.experiments.presets import preset_value
 
-    params: dict[str, object] = dict(
-        preset_value(HETEROGENEITY_WORKLOAD_PRESETS, workload, "heterogeneity workload")
-    )
+    if workload == "trace":
+        params: dict[str, object] = dict(HETEROGENEITY_WORKLOAD_PRESETS["paper"])
+    else:
+        params = dict(
+            preset_value(
+                HETEROGENEITY_WORKLOAD_PRESETS, workload, "heterogeneity workload"
+            )
+        )
     if overrides:
+        unknown = sorted(set(overrides) - set(params))
+        if unknown:
+            raise ValueError(
+                f"unknown heterogeneity parameter(s) {unknown}; "
+                f"valid overrides: {sorted(params)}"
+            )
         params.update(overrides)
     params["servers_per_type"] = int(params["servers_per_type"])
     params["tasks_per_client"] = int(params["tasks_per_client"])
@@ -169,43 +179,43 @@ def heterogeneity_server_specs(kinds: int) -> tuple[NodeSpec, ...]:
     ``kinds=2`` uses the Orion and Taurus types of Table I; ``kinds=4``
     adds the Sim1 and Sim2 types of Table III.
     """
-    if kinds not in (2, 3, 4):
-        raise ValueError(f"kinds must be 2, 3 or 4, got {kinds}")
-    specs = [orion_spec(), taurus_spec()]
-    sims = simulated_cluster_specs()
-    if kinds >= 3:
-        specs.append(sims["sim1"])
-    if kinds == 4:
-        specs.append(sims["sim2"])
-    return tuple(specs)
+    return server_type_specs(kinds)
 
 
-@dataclass
-class _SimServer:
-    """One single-task server of the closed-loop simulation."""
+def heterogeneity_session(
+    policy_name: str,
+    kinds: int,
+    *,
+    servers_per_type: int,
+    tasks_per_client: int = 50,
+    clients: int = 2,
+    task_flop: float = DEFAULT_TASK_FLOP,
+    seed: int = 0,
+    trace: str | None = None,
+    timeline=None,
+) -> LabSession:
+    """The heterogeneity study as a composable lab session.
 
-    name: str
-    kind: str
-    flops: float
-    peak_power: float
-    busy_until: float = 0.0
-
-    def estimation(self, now: float) -> EstimationVector:
-        """Static estimation vector: peak power and nameplate performance."""
-        free = now >= self.busy_until
-        vector = EstimationVector(server=self.name, cluster=self.kind)
-        vector.set(EstimationTags.FLOPS_PER_CORE, self.flops)
-        vector.set(EstimationTags.TOTAL_FLOPS, self.flops)
-        vector.set(EstimationTags.FREE_CORES, 1.0 if free else 0.0)
-        vector.set(EstimationTags.TOTAL_CORES, 1.0)
-        vector.set(EstimationTags.WAITING_TIME, max(self.busy_until - now, 0.0))
-        vector.set(EstimationTags.MEAN_POWER, self.peak_power)
-        vector.set(EstimationTags.IDLE_POWER, self.peak_power)
-        vector.set(EstimationTags.PEAK_POWER, self.peak_power)
-        vector.set(EstimationTags.BOOT_POWER, 0.0)
-        vector.set(EstimationTags.BOOT_TIME, 0.0)
-        vector.set(EstimationTags.NODE_AVAILABLE, 1.0)
-        return vector
+    The default workload is the paper's closed loop (``clients`` clients
+    each keeping one request in flight); ``trace`` replays a recorded
+    task stream through the single-task servers instead, and
+    ``timeline`` turns node-failure events into server-unavailability
+    windows — axes the pre-lab study could not express.
+    """
+    if trace is not None:
+        workload = WorkloadSource.from_trace(trace)
+    else:
+        workload = WorkloadSource.point_load(
+            clients=clients, tasks_per_client=tasks_per_client, task_flop=task_flop
+        )
+    return LabSession(
+        platform=PlatformSource.server_types(kinds, servers_per_type=servers_per_type),
+        workload=workload,
+        policy=PolicySource(
+            policy_name, seed=seed if policy_name.upper() == "RANDOM" else None
+        ),
+        timeline=timeline,
+    )
 
 
 def run_heterogeneity_point(
@@ -221,74 +231,27 @@ def run_heterogeneity_point(
     """Closed-loop run of one policy over one scenario.
 
     This is the unit of work of the heterogeneity study — the sweep runner
-    (:mod:`repro.runner.executor`) calls it once per scenario.
+    (:mod:`repro.runner.executor`) calls it once per scenario.  Assembly
+    and execution happen through :func:`heterogeneity_session` (the
+    :mod:`repro.lab` point backend).
     """
-    ensure_positive(task_flop, "task_flop")
-    scheduler_kwargs = {"seed": seed} if policy_name.upper() == "RANDOM" else {}
-    scheduler = policy_by_name(policy_name, **scheduler_kwargs)
-
-    servers: list[_SimServer] = []
-    for spec in heterogeneity_server_specs(kinds):
-        for index in range(servers_per_type):
-            servers.append(
-                _SimServer(
-                    name=f"{spec.cluster}-{index}",
-                    kind=spec.cluster,
-                    flops=spec.flops_per_core,
-                    peak_power=spec.peak_power,
-                )
-            )
-
-    # Each client keeps exactly one request in flight; the next submission
-    # happens when the previous task completes.  A heap of (ready_time,
-    # client_id) keeps the interleaving deterministic.
-    ready: list[tuple[float, int]] = [(0.0, client) for client in range(clients)]
-    heapq.heapify(ready)
-    remaining = {client: tasks_per_client for client in range(clients)}
-
-    energies: list[float] = []
-    durations: list[float] = []
-    tasks_per_type: dict[str, int] = {}
-    makespan = 0.0
-
-    while ready:
-        now, client = heapq.heappop(ready)
-        if remaining[client] <= 0:
-            continue
-        free = [server for server in servers if server.busy_until <= now]
-        if not free:
-            # No server available: wait until the earliest one frees up.
-            next_free = min(server.busy_until for server in servers)
-            heapq.heappush(ready, (next_free, client))
-            continue
-        task = Task(flop=task_flop, arrival_time=now, client=f"client-{client}")
-        request = ServiceRequest.from_task(task)
-        candidates = [
-            CandidateEntry.from_vector(server.estimation(now)) for server in free
-        ]
-        ranked = scheduler.sort(request, candidates)
-        elected = ranked[0].server
-        server = next(s for s in servers if s.name == elected)
-
-        duration = task_flop / server.flops
-        energy = server.peak_power * duration
-        server.busy_until = now + duration
-        energies.append(energy)
-        durations.append(duration)
-        tasks_per_type[server.kind] = tasks_per_type.get(server.kind, 0) + 1
-        makespan = max(makespan, now + duration)
-
-        remaining[client] -= 1
-        if remaining[client] > 0:
-            heapq.heappush(ready, (now + duration, client))
-
+    session = heterogeneity_session(
+        policy_name,
+        kinds,
+        servers_per_type=servers_per_type,
+        tasks_per_client=tasks_per_client,
+        clients=clients,
+        task_flop=task_flop,
+        seed=seed,
+    )
+    point = session.run().point
     return MetricPoint(
-        policy=scheduler.name,
-        mean_energy_per_task=float(np.mean(energies)) if energies else 0.0,
-        mean_completion_time=float(np.mean(durations)) if durations else 0.0,
-        total_energy=float(np.sum(energies)),
-        makespan=makespan,
-        tasks_per_type=tasks_per_type,
+        policy=point.policy,
+        mean_energy_per_task=point.mean_energy_per_task,
+        mean_completion_time=point.mean_completion_time,
+        total_energy=point.total_energy,
+        makespan=point.makespan,
+        tasks_per_type=dict(point.tasks_per_type),
     )
 
 

@@ -19,14 +19,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.policies import policy_by_name
 from repro.experiments.presets import PlacementExperimentConfig
-from repro.middleware.driver import MiddlewareSimulation, SimulationResult
-from repro.middleware.hierarchy import build_hierarchy
+from repro.lab.components import PlatformSource, PolicySource, WorkloadSource
+from repro.lab.session import LabSession
+from repro.middleware.driver import SimulationResult
 from repro.simulation.metrics import ExperimentMetrics
 
 #: The three policies compared in the paper's first experiment.
 TABLE2_POLICIES = ("RANDOM", "POWER", "PERFORMANCE")
+
+
+def placement_session(
+    policy: str,
+    config: PlacementExperimentConfig | None = None,
+    *,
+    energy_mode: str = "quantized",
+    trace_level: str = "full",
+    timeline=None,
+    horizon: float | None = None,
+    **policy_kwargs,
+) -> LabSession:
+    """The placement experiment as a composable lab session.
+
+    The platform/workload/policy components come from ``config`` (the
+    Table I platform and the burst + continuous pattern, or a replayed
+    trace when ``config.trace_path`` is set); ``timeline`` (an
+    :class:`~repro.scenario.events.EventTimeline` or a file path) injects
+    fault events into the run and ``horizon`` caps the observation
+    window — two axes the pre-lab placement path could not express.
+    """
+    config = config or PlacementExperimentConfig()
+    if policy.strip().upper() == "RANDOM" and "seed" not in policy_kwargs:
+        policy_kwargs["seed"] = config.random_seed
+    policy_source = PolicySource(
+        policy,
+        seed=policy_kwargs.pop("seed", None),
+        preference=policy_kwargs.pop("default_preference", None),
+        options=tuple(policy_kwargs.items()),
+    )
+    return LabSession(
+        platform=PlatformSource.table1(config.nodes_per_cluster),
+        workload=WorkloadSource.from_generator(config.build_workload),
+        policy=policy_source,
+        timeline=timeline,
+        horizon=horizon,
+        energy_mode=energy_mode,
+        trace_level=trace_level,
+        sample_period=config.sample_period,
+    )
 
 
 def run_placement_experiment(
@@ -46,31 +86,19 @@ def run_placement_experiment(
     :class:`~repro.middleware.driver.MiddlewareSimulation` — sweep workers
     run with ``trace_level="off"`` since nothing reads per-task trace
     events there.
-    """
-    config = config or PlacementExperimentConfig()
-    if policy.strip().upper() == "RANDOM" and "seed" not in policy_kwargs:
-        policy_kwargs["seed"] = config.random_seed
-    scheduler = policy_by_name(policy, **policy_kwargs)
 
-    platform = config.build_platform()
-    tasks = config.build_workload(platform.total_cores).generate()
-    # Every SeD offers every service the workload requests: synthetic
-    # workloads keep the paper's single "cpu-burn" service, while replayed
-    # traces (whose tasks carry queue/partition-derived service names)
-    # stay schedulable instead of being rejected wholesale.
-    services = sorted({task.service for task in tasks}) or ["cpu-burn"]
-    master, seds = build_hierarchy(platform, scheduler=scheduler, services=services)
-    simulation = MiddlewareSimulation(
-        platform,
-        master,
-        seds,
-        sample_period=config.sample_period,
-        policy_name=scheduler.name,
+    Assembly happens through :func:`placement_session` (the
+    :mod:`repro.lab` path); richer compositions — fault timelines,
+    capped horizons — are available on the session directly.
+    """
+    session = placement_session(
+        policy,
+        config,
         energy_mode=energy_mode,
         trace_level=trace_level,
+        **policy_kwargs,
     )
-    simulation.submit_workload(tasks)
-    return simulation.run()
+    return session.run().simulation
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ Figures 2–4 describe.  This substitution is recorded in DESIGN.md.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -61,7 +62,7 @@ class PlacementExperimentConfig:
     When ``trace_path`` is set, the synthetic workload parameters
     (``requests_per_core``, ``task_flop``, ``continuous_rate``,
     ``burst_size``) are ignored and :meth:`build_workload` replays the
-    CSV trace instead (see ``docs/TRACE_FORMAT.md``).
+    trace instead — CSV, or a raw SWF log (see ``docs/TRACE_FORMAT.md``).
     """
 
     nodes_per_cluster: int = 4
@@ -182,8 +183,9 @@ def placement_config_for(
     :class:`~repro.runner.spec.ScenarioSpec` values resolve to runnable
     configurations.
 
-    The special preset ``workload="trace"`` replays the CSV trace file
-    named by ``trace`` instead of a synthetic pattern (and is the only
+    The special preset ``workload="trace"`` replays the trace file named
+    by ``trace`` — native CSV, or a raw ``.swf`` log under the default
+    field mapping — instead of a synthetic pattern (and is the only
     workload that accepts ``trace``).
 
     >>> placement_config_for("quick", "quick").nodes_per_cluster
@@ -201,7 +203,16 @@ def placement_config_for(
     params["nodes_per_cluster"] = _preset(PLATFORM_PRESETS, platform, "platform")
     if overrides:
         params.update(overrides)
-    return PlacementExperimentConfig(random_seed=seed, **params)
+    try:
+        return PlacementExperimentConfig(random_seed=seed, **params)
+    except TypeError:
+        valid = sorted(
+            f.name for f in dataclasses.fields(PlacementExperimentConfig)
+        )
+        unknown = sorted(set(params) - set(valid))
+        raise ValueError(
+            f"unknown placement parameter(s) {unknown}; valid overrides: {valid}"
+        ) from None
 
 
 def placement_sweep(

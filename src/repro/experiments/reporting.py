@@ -9,7 +9,7 @@ series of Figure 9.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.experiments.adaptive import AdaptiveExperimentResult
 from repro.experiments.greenperf_eval import HeterogeneityResult

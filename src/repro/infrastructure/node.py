@@ -27,7 +27,7 @@ event-driven energy accountant closes power segments without polling.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.infrastructure.power_model import LinearPowerModel, PowerModel
@@ -241,6 +241,16 @@ class Node:
         self._state = self._pre_failure_state
         if self._power_listeners:
             self._power_changed()
+
+    @property
+    def boot_ready_at(self) -> float | None:
+        """Completion time of the boot in progress, or ``None``.
+
+        Cleared when the boot completes and when a crash or power-off
+        abandons it — which is what lets a scheduled boot-completion
+        event recognise that the boot it belonged to no longer exists.
+        """
+        return self._boot_completion_time
 
     def begin_boot(self, now: float) -> float:
         """Start booting an OFF node at time ``now``.

@@ -1,0 +1,52 @@
+"""repro.lab — one composable assembly path for every experiment.
+
+The paper's system is one middleware (DIET hierarchy + green plug-in
+scheduler + adaptive provisioning) observed through different
+experiments.  This package is the layer that makes that literal in code:
+a :class:`LabSession` is built from orthogonal components — platform
+source, workload source (synthetic generator or ingested trace),
+scheduling policy, optional provisioning, optional event timeline,
+energy/trace modes — validates the combination once, assembles
+hierarchy + driver + scenario application in one place, and returns a
+uniform :class:`LabResult` that each experiment family post-processes
+into its figures.
+
+Modules
+-------
+``components``
+    The typed axes: :class:`PlatformSource`, :class:`WorkloadSource`,
+    :class:`PolicySource`, :class:`ProvisioningSource`,
+    :func:`resolve_timeline`.
+``session``
+    :class:`LabSession` — validation and the two execution backends
+    (full middleware stack; engine-less single-task point study).
+``observe``
+    :class:`LabResult` plus the shared metric/figure extraction.
+``compat``
+    :func:`session_for_spec` / :func:`execute_spec` — the declarative
+    :class:`~repro.runner.spec.ScenarioSpec` surface, kept resolving
+    exactly as before the lab refactor.
+"""
+
+from repro.lab.components import (
+    LabError,
+    PlatformSource,
+    PolicySource,
+    ProvisioningSource,
+    WorkloadSource,
+    resolve_timeline,
+)
+from repro.lab.observe import LabResult, PointSummary
+from repro.lab.session import LabSession
+
+__all__ = [
+    "LabError",
+    "LabResult",
+    "LabSession",
+    "PlatformSource",
+    "PointSummary",
+    "PolicySource",
+    "ProvisioningSource",
+    "WorkloadSource",
+    "resolve_timeline",
+]

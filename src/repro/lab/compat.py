@@ -1,0 +1,165 @@
+"""Thin wrappers keeping the pre-lab entry points on the lab assembly path.
+
+Two surfaces meet here:
+
+* the **declarative** one — :func:`session_for_spec` resolves a frozen
+  :class:`~repro.runner.spec.ScenarioSpec` (preset names, policy, trace/
+  timeline paths) into a runnable :class:`~repro.lab.session.LabSession`,
+  and :func:`execute_spec` is the sweep executor's unit of work;
+* the **family-specific** one — the experiment modules
+  (:mod:`repro.experiments.placement`, :mod:`~repro.experiments.adaptive`,
+  :mod:`~repro.experiments.greenperf_eval`) each expose a
+  ``*_session(...)`` builder; this module dispatches to them so that the
+  historical preset vocabulary keeps resolving exactly as before.
+
+Since the lab refactor, ``trace`` and ``timeline`` are legal on *every*
+family — the validation kept here is only the honesty check on spec
+fields a family genuinely ignores (a seed on a deterministic policy, a
+preference outside GREEN_SCORE), because every field participates in the
+content hash and a swept-but-ignored field would cache identical
+simulations under distinct labels.
+
+Experiment modules are imported lazily inside the dispatch functions so
+the lab package stays import-light and cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.lab.session import LabSession
+from repro.runner.spec import ScenarioSpec
+from repro.runner.store import ScenarioResult
+
+
+def reject_unused(spec: ScenarioSpec, **unused: object) -> None:
+    """Refuse spec fields the experiment family would silently ignore.
+
+    Every field participates in the content hash, so a sweep over a field
+    the dispatcher ignores would run identical simulations under distinct
+    labels (and cache them as distinct entries).  Failing loudly keeps
+    sweep axes honest.
+    """
+    for name, default in unused.items():
+        if getattr(spec, name) != default:
+            raise ValueError(
+                f"{spec.experiment} scenarios do not use {name!r} "
+                f"(got {getattr(spec, name)!r}); drop it from the sweep axes"
+            )
+
+
+def _placement_session(spec: ScenarioSpec) -> LabSession:
+    from repro.experiments.placement import placement_session
+    from repro.experiments.presets import placement_config_for
+
+    if spec.policy != "GREEN_SCORE":
+        reject_unused(spec, preference=0.0)
+    if spec.policy != "RANDOM":
+        reject_unused(spec, seed=0)
+    config = placement_config_for(
+        platform=spec.platform,
+        workload=spec.workload,
+        seed=spec.seed,
+        trace=spec.trace,
+        overrides=dict(spec.overrides),
+    )
+    policy_kwargs = {}
+    if spec.policy == "GREEN_SCORE":
+        policy_kwargs["default_preference"] = spec.preference
+    # Sweep workers skip per-task trace recording: nothing in the sweep
+    # path reads it, and million-task replays would allocate four trace
+    # events per task for nothing.
+    return placement_session(
+        spec.policy,
+        config,
+        trace_level="off",
+        timeline=spec.timeline,
+        horizon=spec.horizon,
+        **policy_kwargs,
+    )
+
+
+def _heterogeneity_session(spec: ScenarioSpec) -> LabSession:
+    from repro.experiments.greenperf_eval import (
+        heterogeneity_params_for,
+        heterogeneity_session,
+    )
+
+    reject_unused(spec, preference=0.0, horizon=None)
+    if spec.policy != "RANDOM":
+        reject_unused(spec, seed=0)
+    if not spec.platform.startswith("types"):
+        raise ValueError(
+            f"heterogeneity platforms are 'types2'..'types4', got {spec.platform!r}"
+        )
+    kinds = int(spec.platform.removeprefix("types"))
+    params = heterogeneity_params_for(spec.workload, overrides=dict(spec.overrides))
+    return heterogeneity_session(
+        spec.policy,
+        kinds,
+        seed=spec.seed,
+        trace=spec.trace,
+        timeline=spec.timeline,
+        **params,
+    )
+
+
+def _adaptive_session(spec: ScenarioSpec) -> LabSession:
+    from repro.experiments.adaptive import adaptive_config_for, adaptive_session
+
+    # The Figure 9 scenario always schedules with GreenPerf and has no
+    # stochastic component (generated fault timelines are seeded at
+    # generation time, so a timeline file is deterministic content too).
+    reject_unused(spec, policy="GREENPERF", preference=0.0, seed=0)
+    if spec.trace is not None and spec.horizon is None:
+        raise ValueError(
+            "adaptive trace replay needs an observation horizon: the planner "
+            "re-checks forever; add horizon=<seconds> to the spec"
+        )
+    timeline = None
+    if spec.timeline is not None:
+        from repro.scenario.io import load_timeline
+
+        timeline = load_timeline(spec.timeline)
+    config = adaptive_config_for(
+        platform=spec.platform,
+        workload=spec.workload,
+        horizon=spec.horizon,
+        timeline=timeline,
+        trace=spec.trace,
+        overrides=dict(spec.overrides),
+    )
+    return adaptive_session(config, trace_level="off")
+
+
+_FAMILY_SESSIONS = {
+    "placement": _placement_session,
+    "heterogeneity": _heterogeneity_session,
+    "adaptive": _adaptive_session,
+}
+
+
+def session_for_spec(spec: ScenarioSpec) -> LabSession:
+    """Resolve a declarative scenario spec into a runnable lab session.
+
+    The session is validated (component combination checked once) before
+    it is returned, so callers can rely on :class:`ValueError` surfacing
+    here rather than mid-run.
+    """
+    try:
+        builder = _FAMILY_SESSIONS[spec.experiment]
+    except KeyError:
+        raise ValueError(f"unknown experiment family {spec.experiment!r}") from None
+    return builder(spec).validate()
+
+
+def execute_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario spec through the lab and wrap its flat summary.
+
+    This is the sweep executor's unit of work: the uniform
+    :class:`~repro.lab.observe.LabResult` metrics/detail mappings are
+    exactly the historical per-family sweep payloads, so stores written
+    before the lab refactor keep serving cache hits byte-identically.
+    """
+    result = session_for_spec(spec).run()
+    return ScenarioResult(
+        spec=spec, metrics=dict(result.metrics), detail=dict(result.detail)
+    )

@@ -1,0 +1,229 @@
+"""Uniform observation of a lab run: result object and metric extraction.
+
+Every :meth:`~repro.lab.session.LabSession.run` returns a
+:class:`LabResult` — one shape for all experiment families — from which
+each family post-processes its figures:
+
+* the placement experiment reads ``simulation`` (the full
+  :class:`~repro.middleware.driver.SimulationResult`: per-node task
+  histograms, per-cluster energy);
+* the heterogeneity study reads ``point`` (a :class:`PointSummary` of
+  mean energy / completion time);
+* the adaptive experiment reads ``candidate_series`` / ``power_series``
+  / ``planning_entries`` (the Figure 9 trajectory).
+
+``metrics`` is the flat scalar summary shared by the sweep runner and
+``repro lab run``; the helpers below build it from the same sources the
+pre-lab experiment modules used, so refactored paths stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.middleware.driver import SimulationResult
+from repro.scenario.events import EventTimeline
+
+
+def greenperf_metric(total_energy: float, task_count: float) -> float:
+    """Run-level GreenPerf: energy per completed task (power/throughput).
+
+    >>> greenperf_metric(100.0, 4.0)
+    25.0
+    >>> greenperf_metric(100.0, 0.0)
+    0.0
+    """
+    return total_energy / task_count if task_count else 0.0
+
+
+def windowed_power(
+    energy_log, *, window: float, duration: float
+) -> tuple[tuple[float, float], ...]:
+    """Average platform power per ``window`` seconds (the crosses of Figure 9)."""
+    if energy_log is None:
+        return ()
+    trace = energy_log.power_trace()
+    if trace.size == 0:
+        return ()
+    times = trace[:, 0]
+    watts = trace[:, 1]
+    series: list[tuple[float, float]] = []
+    start = 0.0
+    while start < duration:
+        end = start + window
+        mask = (times >= start) & (times < end)
+        if mask.any():
+            series.append((end, float(watts[mask].mean())))
+        start = end
+    return tuple(series)
+
+
+def series_value_at(
+    series: Sequence[tuple[float, float]], time: float, default: float = 0
+):
+    """The value of a step series in effect at ``time``.
+
+    >>> series_value_at([(0.0, 4), (600.0, 6)], 300.0)
+    4
+    >>> series_value_at([], 300.0)
+    0
+    """
+    value = default
+    for step_time, step_value in series:
+        if step_time <= time:
+            value = step_value
+        else:
+            break
+    return value
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """The heterogeneity study's figure coordinates for one policy run."""
+
+    policy: str
+    mean_energy_per_task: float
+    mean_completion_time: float
+    total_energy: float
+    makespan: float
+    tasks_per_type: Mapping[str, int]
+
+    @classmethod
+    def from_executions(
+        cls,
+        *,
+        policy: str,
+        energies: Sequence[float],
+        durations: Sequence[float],
+        tasks_per_type: Mapping[str, int],
+        makespan: float,
+    ) -> "PointSummary":
+        """Aggregate per-task energies/durations into the figure coordinates."""
+        return cls(
+            policy=policy,
+            mean_energy_per_task=float(np.mean(energies)) if energies else 0.0,
+            mean_completion_time=float(np.mean(durations)) if durations else 0.0,
+            total_energy=float(np.sum(energies)),
+            makespan=makespan,
+            tasks_per_type=dict(tasks_per_type),
+        )
+
+
+@dataclass(frozen=True)
+class LabResult:
+    """Everything one lab run produced, in a family-independent shape."""
+
+    backend: str  #: ``"middleware"`` or ``"point"``
+    metrics: Mapping[str, float]
+    detail: Mapping[str, object] = field(default_factory=dict)
+    #: Full driver result (middleware backend only).
+    simulation: SimulationResult | None = None
+    #: Figure 6/7 coordinates (point backend only).
+    point: PointSummary | None = None
+    #: The resolved timeline the run was driven by, if any.
+    timeline: EventTimeline | None = None
+    #: Provisioning trajectory (sessions with a provisioning source).
+    candidate_series: tuple[tuple[float, int], ...] = ()
+    power_series: tuple[tuple[float, float], ...] = ()
+    planning_entries: tuple = ()
+    total_nodes: int = 0
+    horizon: float | None = None
+
+    @property
+    def completed_tasks(self) -> int:
+        """Completed task count, whichever backend produced it."""
+        return int(self.metrics.get("task_count", 0.0))
+
+    @property
+    def total_energy(self) -> float:
+        """Total platform energy (J)."""
+        return float(self.metrics.get("total_energy", 0.0))
+
+    def candidates_at(self, time: float) -> int:
+        """Candidate count in effect at simulated ``time`` (s)."""
+        return int(series_value_at(self.candidate_series, time))
+
+
+# -- per-backend metric extraction ------------------------------------------------------
+
+
+def middleware_metrics(
+    result: SimulationResult, *, include_faults: bool = False
+) -> dict[str, float]:
+    """The flat metric summary of an open-loop middleware run.
+
+    Matches the historical placement-family sweep metrics exactly;
+    ``include_faults`` adds the displaced-task counters (timeline runs).
+    """
+    metrics = result.metrics
+    summary = {
+        "makespan": metrics.makespan,
+        "total_energy": metrics.total_energy,
+        "task_count": float(metrics.task_count),
+        "mean_response_time": metrics.mean_response_time,
+        "mean_queue_delay": metrics.mean_queue_delay,
+        "greenperf": greenperf_metric(metrics.total_energy, metrics.task_count),
+        "events": float(result.events_processed),
+    }
+    if include_faults:
+        summary["failed_tasks"] = float(result.failed_tasks)
+        summary["rejected_tasks"] = float(result.rejected_tasks)
+    return summary
+
+
+def middleware_detail(result: SimulationResult) -> dict[str, object]:
+    """The per-node/cluster histograms of an open-loop middleware run."""
+    metrics = result.metrics
+    return {
+        "tasks_per_node": dict(metrics.tasks_per_node),
+        "tasks_per_cluster": dict(metrics.tasks_per_cluster),
+        "energy_per_cluster": dict(metrics.energy_per_cluster),
+    }
+
+
+def provisioned_metrics(
+    *,
+    duration: float,
+    total_energy: float,
+    completed_tasks: int,
+    final_candidates: int,
+    events_processed: int,
+    failed_tasks: int,
+    rejected_tasks: int,
+) -> dict[str, float]:
+    """The flat metric summary of a provisioned (adaptive-family) run.
+
+    Matches the historical adaptive-family sweep metrics exactly.
+    """
+    return {
+        "makespan": duration,
+        "total_energy": total_energy,
+        "task_count": float(completed_tasks),
+        "final_candidates": float(final_candidates),
+        "greenperf": greenperf_metric(total_energy, float(completed_tasks)),
+        "events": float(events_processed),
+        "failed_tasks": float(failed_tasks),
+        "rejected_tasks": float(rejected_tasks),
+    }
+
+
+def point_metrics(point: PointSummary) -> dict[str, float]:
+    """The flat metric summary of a point-study run.
+
+    Matches the historical heterogeneity-family sweep metrics exactly.
+    No "events" metric: the closed-loop study runs without the event
+    engine, and a fabricated count would pollute the profile report's
+    events/sec aggregate.
+    """
+    task_count = float(sum(point.tasks_per_type.values()))
+    return {
+        "makespan": point.makespan,
+        "total_energy": point.total_energy,
+        "task_count": task_count,
+        "mean_energy_per_task": point.mean_energy_per_task,
+        "mean_completion_time": point.mean_completion_time,
+        "greenperf": greenperf_metric(point.total_energy, task_count),
+    }

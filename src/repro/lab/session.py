@@ -1,0 +1,495 @@
+"""One composable assembly path for every experiment of the reproduction.
+
+A :class:`LabSession` is built from orthogonal components
+(:mod:`repro.lab.components`): platform source × workload source ×
+scheduling policy × optional provisioning × optional event timeline ×
+energy/trace modes.  :meth:`LabSession.validate` checks the combination
+once; :meth:`LabSession.run` assembles hierarchy, driver and scenario
+application in one place and returns a uniform
+:class:`~repro.lab.observe.LabResult`.
+
+Two execution backends cover the paper's evaluation:
+
+* the **middleware backend** (``"table1"`` platforms) drives the full
+  DIET stack — agent hierarchy, plug-in scheduler, discrete-event engine,
+  energy accountant — with an open-loop workload (synthetic generator or
+  replayed trace) or the adaptive closed-loop capacity client, optionally
+  under a :class:`~repro.core.provisioning.ProvisioningPlanner` and a
+  fault-injecting :class:`~repro.scenario.events.EventTimeline`;
+* the **point backend** (``"server-types"`` platforms) runs the
+  heterogeneity study's engine-less closed loop over single-task
+  servers, now also accepting trace workloads (open-loop replay) and
+  timelines (node failures become server-unavailability windows; other
+  event kinds are inert because the study has no planner).
+
+Any workload × any policy × provisioning × any timeline composes here,
+so e.g. a real SWF week can replay through adaptive provisioning under a
+crash storm — a combination no single pre-lab experiment module could
+express.  The golden suite (``tests/test_goldens.py``) pins the
+pre-existing Table II and Figure 9 paths to the exact same bits through
+this assembly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.lab.components import (
+    LabError,
+    PlatformSource,
+    PolicySource,
+    ProvisioningSource,
+    TimelineLike,
+    WorkloadSource,
+    resolve_timeline,
+)
+from repro.lab.observe import (
+    LabResult,
+    PointSummary,
+    middleware_detail,
+    middleware_metrics,
+    point_metrics,
+    provisioned_metrics,
+    series_value_at,
+    windowed_power,
+)
+from repro.middleware.driver import ENERGY_MODES, TRACE_LEVELS, MiddlewareSimulation
+from repro.middleware.estimation import EstimationTags, EstimationVector
+from repro.middleware.hierarchy import build_hierarchy
+from repro.middleware.plugin_scheduler import CandidateEntry
+from repro.middleware.requests import ServiceRequest
+from repro.scenario.apply import apply_timeline
+from repro.scenario.events import EventTimeline, NodeFailure, NodeRecovery
+from repro.simulation.task import Task
+from repro.util.validation import ensure_positive
+
+
+@dataclass
+class LabSession:
+    """A validated composition of experiment components.
+
+    >>> from repro.workload.generator import SteadyRateWorkload
+    >>> session = LabSession(
+    ...     platform=PlatformSource.table1(1),
+    ...     workload=WorkloadSource.from_generator(
+    ...         SteadyRateWorkload(total_tasks=3, rate=1.0, flop_per_task=1e9)),
+    ...     policy=PolicySource("POWER"),
+    ... )
+    >>> session.run().completed_tasks
+    3
+    """
+
+    platform: PlatformSource
+    workload: WorkloadSource
+    policy: PolicySource = field(default_factory=PolicySource)
+    provisioning: ProvisioningSource | None = None
+    timeline: TimelineLike = None
+    horizon: float | None = None
+    energy_mode: str = "quantized"
+    trace_level: str = "full"
+    sample_period: float = 1.0
+    base_temperature: float = 21.0
+    requeue_on_failure: bool = True
+
+    def __post_init__(self) -> None:
+        self._resolved_timeline: EventTimeline | None = None
+        self._validated = False
+
+    # -- validation ---------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Which execution backend the platform selects."""
+        return "point" if self.platform.kind == "server-types" else "middleware"
+
+    def validate(self) -> "LabSession":
+        """Check the component combination once; raises :class:`LabError`.
+
+        Returns ``self`` so construction and validation chain.
+        """
+        if self.energy_mode not in ENERGY_MODES:
+            raise LabError(
+                f"energy_mode must be one of {ENERGY_MODES}, got {self.energy_mode!r}"
+            )
+        if self.trace_level not in TRACE_LEVELS:
+            raise LabError(
+                f"trace_level must be one of {TRACE_LEVELS}, got {self.trace_level!r}"
+            )
+        ensure_positive(self.sample_period, "sample_period")
+        if self.horizon is not None:
+            ensure_positive(self.horizon, "horizon")
+        self._resolved_timeline = resolve_timeline(self.timeline)
+
+        if self.backend == "point":
+            if self.provisioning is not None:
+                raise LabError(
+                    "the single-task point study has no provisioning axis; "
+                    "use a table1 platform to compose provisioning"
+                )
+            if self.workload.kind not in ("point-load", "trace"):
+                raise LabError(
+                    f"server-types platforms take 'point-load' or 'trace' "
+                    f"workloads, not {self.workload.kind!r}"
+                )
+            if self.horizon is not None:
+                raise LabError(
+                    "the point study runs to workload completion; drop horizon"
+                )
+        else:
+            if self.workload.kind == "point-load":
+                raise LabError(
+                    "'point-load' workloads belong to server-types platforms; "
+                    "use a generator, trace or capacity workload on table1"
+                )
+            if self.workload.kind == "capacity":
+                if self.provisioning is None:
+                    raise LabError(
+                        "the capacity client tops requests up to the candidate "
+                        "pool; it requires a ProvisioningSource"
+                    )
+            if self.provisioning is not None and self.horizon is None:
+                raise LabError(
+                    "provisioned sessions need a finite horizon: the planner "
+                    "re-checks forever, so the run would never terminate"
+                )
+        self._validated = True
+        return self
+
+    # -- execution ----------------------------------------------------------------------
+    def run(self) -> LabResult:
+        """Validate, assemble and execute the session."""
+        if not self._validated:
+            self.validate()
+        if self.backend == "point":
+            return self._run_point_study()
+        return self._run_middleware()
+
+    # -- middleware backend -------------------------------------------------------------
+    def _run_middleware(self) -> LabResult:
+        timeline = self._resolved_timeline
+        scheduler = self.policy.build()
+        platform = self.platform.build_platform()
+        tasks: tuple[Task, ...] | None = None
+        if self.workload.open_loop:
+            tasks = self.workload.resolve_tasks(platform.total_cores)
+        master, seds = build_hierarchy(platform, scheduler=scheduler, workload=tasks)
+        simulation = MiddlewareSimulation(
+            platform,
+            master,
+            seds,
+            sample_period=self.sample_period,
+            policy_name=scheduler.name,
+            energy_mode=self.energy_mode,
+            trace_level=self.trace_level,
+        )
+
+        electricity = thermal = None
+        if self.provisioning is not None or timeline is not None:
+            electricity, thermal, _ = apply_timeline(
+                simulation,
+                timeline if timeline is not None else EventTimeline(),
+                base_temperature=self.base_temperature,
+                requeue=self.requeue_on_failure,
+            )
+        planner = None
+        if self.provisioning is not None:
+            planner = self.provisioning.build(
+                platform=platform,
+                master=master,
+                electricity=electricity,
+                thermal=thermal,
+                seds=seds,
+                engine=simulation.engine,
+                trace=simulation.trace,
+            )
+            planner.install()
+            planner.start(first_check_at=self.provisioning.first_check_at)
+
+        if self.workload.kind == "capacity":
+            self._start_capacity_client(simulation, platform, planner, timeline)
+        else:
+            simulation.submit_workload(tasks)
+        result = simulation.run(until=self.horizon)
+
+        energy_log = simulation.energy_log
+        if planner is not None:
+            duration = self.horizon
+            candidate_series = planner.candidate_history()
+            metrics = provisioned_metrics(
+                duration=duration,
+                total_energy=(
+                    energy_log.total_energy if energy_log is not None else 0.0
+                ),
+                completed_tasks=result.metrics.task_count,
+                final_candidates=int(series_value_at(candidate_series, duration)),
+                events_processed=result.events_processed,
+                failed_tasks=result.failed_tasks,
+                rejected_tasks=result.rejected_tasks,
+            )
+            return LabResult(
+                backend="middleware",
+                metrics=metrics,
+                detail={
+                    "candidate_series": [
+                        [time, count] for time, count in candidate_series
+                    ],
+                },
+                simulation=result,
+                timeline=timeline,
+                candidate_series=candidate_series,
+                power_series=windowed_power(
+                    energy_log, window=planner.config.check_period, duration=duration
+                ),
+                planning_entries=tuple(planner.planning_entries),
+                total_nodes=len(platform),
+                horizon=self.horizon,
+            )
+        return LabResult(
+            backend="middleware",
+            metrics=middleware_metrics(result, include_faults=timeline is not None),
+            detail=middleware_detail(result),
+            simulation=result,
+            timeline=timeline,
+            total_nodes=len(platform),
+            horizon=self.horizon,
+        )
+
+    def _start_capacity_client(
+        self,
+        simulation: MiddlewareSimulation,
+        platform,
+        planner,
+        timeline: EventTimeline | None,
+    ) -> None:
+        """The adaptive experiment's closed-loop client.
+
+        Every tick, the in-flight request count is topped up to the
+        capacity (cores) of the current candidate nodes, stopping new
+        submissions shortly before the horizon so the last tasks can
+        complete within the observation window.
+        """
+        workload = self.workload
+        submission_deadline = self.horizon - planner.config.check_period
+
+        def _capacity() -> int:
+            total = 0
+            for name in planner.candidate_nodes:
+                node = platform.node(name)
+                if node.is_available:
+                    total += node.spec.cores
+            return max(total, 1)
+
+        def _client_tick() -> None:
+            now = simulation.engine.now
+            if now <= submission_deadline:
+                target = _capacity()
+                multiplier = (
+                    timeline.arrival_multiplier(now) if timeline is not None else 1.0
+                )
+                if multiplier != 1.0:
+                    # Bursts scale the closed-loop pressure target; the
+                    # equality guard keeps burst-free runs (Figure 9)
+                    # bit-identical to the historical inline-event path.
+                    target = max(1, round(target * multiplier))
+                deficit = target - simulation.in_flight_tasks
+                for _ in range(max(deficit, 0)):
+                    simulation.inject_task(
+                        Task(
+                            flop=workload.task_flop,
+                            arrival_time=now,
+                            client=workload.client,
+                        )
+                    )
+                simulation.engine.schedule_in(
+                    workload.client_tick, _client_tick, label="client-tick"
+                )
+
+        simulation.engine.schedule(0.0, _client_tick, label="client-tick")
+
+    # -- point backend ------------------------------------------------------------------
+    def _run_point_study(self) -> LabResult:
+        timeline = self._resolved_timeline
+        scheduler = self.policy.build()
+        servers: list[_SimServer] = []
+        for spec in self.platform.server_specs():
+            for index in range(self.platform.servers_per_type):
+                servers.append(
+                    _SimServer(
+                        name=f"{spec.cluster}-{index}",
+                        kind=spec.cluster,
+                        flops=spec.flops_per_core,
+                        peak_power=spec.peak_power,
+                    )
+                )
+        windows = _availability_windows(timeline)
+
+        def _available(server: _SimServer, now: float) -> bool:
+            return _next_available(windows.get(server.name, ()), now) == now
+
+        def _ready_time(server: _SimServer, now: float) -> float:
+            """Earliest instant >= ``now`` the server could accept a task."""
+            return _next_available(
+                windows.get(server.name, ()), max(now, server.busy_until)
+            )
+
+        energies: list[float] = []
+        durations: list[float] = []
+        tasks_per_type: dict[str, int] = {}
+        makespan = 0.0
+
+        def _execute(task: Task, now: float) -> float:
+            nonlocal makespan
+            request = ServiceRequest.from_task(task)
+            candidates = [
+                CandidateEntry.from_vector(server.estimation(now))
+                for server in servers
+                if server.busy_until <= now and _available(server, now)
+            ]
+            ranked = scheduler.sort(request, candidates)
+            elected = ranked[0].server
+            server = next(s for s in servers if s.name == elected)
+            duration = task.flop / server.flops
+            energy = server.peak_power * duration
+            server.busy_until = now + duration
+            energies.append(energy)
+            durations.append(duration)
+            tasks_per_type[server.kind] = tasks_per_type.get(server.kind, 0) + 1
+            makespan = max(makespan, now + duration)
+            return duration
+
+        def _earliest_ready(now: float) -> float:
+            ready_at = min(_ready_time(server, now) for server in servers)
+            if not math.isfinite(ready_at):
+                raise LabError(
+                    "every server is failed with no recovery in the timeline; "
+                    "the point study cannot make progress"
+                )
+            return ready_at
+
+        if self.workload.kind == "trace":
+            # Open-loop replay: tasks start in arrival order, each on the
+            # earliest instant a server is both idle and not failed.
+            for task in self.workload.resolve_tasks():
+                now = task.arrival_time
+                while not any(
+                    server.busy_until <= now and _available(server, now)
+                    for server in servers
+                ):
+                    now = _earliest_ready(now)
+                _execute(task, now)
+        else:
+            # Closed loop: each client keeps exactly one request in
+            # flight; the next submission happens when the previous task
+            # completes.  A heap of (ready_time, client_id) keeps the
+            # interleaving deterministic.
+            clients = self.workload.clients
+            ready: list[tuple[float, int]] = [(0.0, client) for client in range(clients)]
+            heapq.heapify(ready)
+            remaining = {client: self.workload.tasks_per_client for client in range(clients)}
+            while ready:
+                now, client = heapq.heappop(ready)
+                if remaining[client] <= 0:
+                    continue
+                if not any(
+                    server.busy_until <= now and _available(server, now)
+                    for server in servers
+                ):
+                    # No server available: wait until the earliest one frees up.
+                    heapq.heappush(ready, (_earliest_ready(now), client))
+                    continue
+                task = Task(
+                    flop=self.workload.task_flop,
+                    arrival_time=now,
+                    client=f"client-{client}",
+                )
+                duration = _execute(task, now)
+                remaining[client] -= 1
+                if remaining[client] > 0:
+                    heapq.heappush(ready, (now + duration, client))
+
+        point = PointSummary.from_executions(
+            policy=scheduler.name,
+            energies=energies,
+            durations=durations,
+            tasks_per_type=tasks_per_type,
+            makespan=makespan,
+        )
+        return LabResult(
+            backend="point",
+            metrics=point_metrics(point),
+            detail={"tasks_per_type": dict(point.tasks_per_type)},
+            point=point,
+            timeline=timeline,
+            total_nodes=len(servers),
+        )
+
+
+@dataclass
+class _SimServer:
+    """One single-task server of the point-study closed-loop simulation."""
+
+    name: str
+    kind: str
+    flops: float
+    peak_power: float
+    busy_until: float = 0.0
+
+    def estimation(self, now: float) -> EstimationVector:
+        """Static estimation vector: peak power and nameplate performance."""
+        free = now >= self.busy_until
+        vector = EstimationVector(server=self.name, cluster=self.kind)
+        vector.set(EstimationTags.FLOPS_PER_CORE, self.flops)
+        vector.set(EstimationTags.TOTAL_FLOPS, self.flops)
+        vector.set(EstimationTags.FREE_CORES, 1.0 if free else 0.0)
+        vector.set(EstimationTags.TOTAL_CORES, 1.0)
+        vector.set(EstimationTags.WAITING_TIME, max(self.busy_until - now, 0.0))
+        vector.set(EstimationTags.MEAN_POWER, self.peak_power)
+        vector.set(EstimationTags.IDLE_POWER, self.peak_power)
+        vector.set(EstimationTags.PEAK_POWER, self.peak_power)
+        vector.set(EstimationTags.BOOT_POWER, 0.0)
+        vector.set(EstimationTags.BOOT_TIME, 0.0)
+        vector.set(EstimationTags.NODE_AVAILABLE, 1.0)
+        return vector
+
+
+def _availability_windows(
+    timeline: EventTimeline | None,
+) -> Mapping[str, tuple[tuple[float, float], ...]]:
+    """Per-node ``[failed_at, repaired_at)`` windows of a timeline.
+
+    A failure never repaired yields an infinite window.  The timeline's
+    crash/repair protocol (enforced at construction) guarantees windows
+    are well-nested per node.
+    """
+    if timeline is None:
+        return {}
+    open_at: dict[str, float] = {}
+    windows: dict[str, list[tuple[float, float]]] = {}
+    for event in timeline.node_events:
+        if isinstance(event, NodeFailure):
+            open_at[event.node] = event.time
+        elif isinstance(event, NodeRecovery):
+            windows.setdefault(event.node, []).append(
+                (open_at.pop(event.node), event.time)
+            )
+    for node, start in open_at.items():
+        windows.setdefault(node, []).append((start, math.inf))
+    return {node: tuple(sorted(spans)) for node, spans in windows.items()}
+
+
+def _next_available(
+    windows: Sequence[tuple[float, float]], time: float
+) -> float:
+    """The earliest instant >= ``time`` outside every failure window.
+
+    >>> _next_available(((60.0, 120.0),), 90.0)
+    120.0
+    >>> _next_available((), 90.0)
+    90.0
+    """
+    for start, end in windows:
+        if start <= time < end:
+            time = end
+    return time

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-from repro.middleware.estimation import EstimationVector
 from repro.middleware.plugin_scheduler import (
     CandidateEntry,
     FirstComeFirstServedScheduler,

@@ -1,5 +1,10 @@
 """Simulation driver gluing the middleware to the platform.
 
+Experiments do not build this driver by hand: :mod:`repro.lab` is the
+assembly layer that composes a platform, a workload, a policy, optional
+provisioning and an optional event timeline into one
+:class:`MiddlewareSimulation` and runs it.
+
 :class:`MiddlewareSimulation` executes a workload through the full
 scheduling pipeline of the paper:
 
@@ -60,7 +65,7 @@ from repro.infrastructure.platform import Platform
 from repro.infrastructure.wattmeter import Wattmeter
 from repro.middleware.agents import MasterAgent
 from repro.middleware.client import Client
-from repro.middleware.requests import SchedulingOutcome, ServiceRequest
+from repro.middleware.requests import SchedulingOutcome
 from repro.middleware.sed import ServerDaemon
 from repro.simulation.engine import ScheduledEvent, SimulationEngine
 from repro.simulation.metrics import ExperimentMetrics, MetricsCollector
@@ -150,6 +155,7 @@ class MiddlewareSimulation:
             )
         self._rejected = 0
         self._failed = 0
+        self._submitted = 0
         self._pending_completions = 0
         #: Per-node map of running tasks to their completion events, so a
         #: node crash can cancel exactly the completions it invalidates.
@@ -198,6 +204,7 @@ class MiddlewareSimulation:
     def _handle_arrival(self, task: Task) -> None:
         self._sample_power()
         now = self.engine.now
+        self._submitted += 1
         task.state = TaskState.SUBMITTED
         if self._trace_on:
             self.trace.record(
@@ -444,6 +451,26 @@ class MiddlewareSimulation:
     def failed_tasks(self) -> int:
         """Tasks lost to node crashes under ``requeue=False`` semantics."""
         return self._failed
+
+    @property
+    def submitted_tasks(self) -> int:
+        """Number of task arrivals handled so far (requeues not re-counted)."""
+        return self._submitted
+
+    @property
+    def in_flight_tasks(self) -> int:
+        """Submitted tasks not yet completed, rejected or failed.
+
+        This is the pressure figure closed-loop clients regulate on (the
+        adaptive experiment's capacity client tops it up to the candidate
+        pool's core count every tick).
+        """
+        return (
+            self._submitted
+            - self.metrics.task_count
+            - self._rejected
+            - self._failed
+        )
 
     @property
     def running_tasks(self) -> int:

@@ -9,7 +9,7 @@ directly under the MA) is also available for small experiments and tests.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.infrastructure.platform import Platform
 from repro.middleware.agents import LocalAgent, MasterAgent
@@ -17,12 +17,33 @@ from repro.middleware.plugin_scheduler import PluginScheduler
 from repro.middleware.sed import ServerDaemon
 from repro.simulation.queueing import QueueSet
 
+#: The paper's single CPU-bound service, offered when no workload says otherwise.
+DEFAULT_SERVICES = ("cpu-burn",)
+
+
+def workload_services(tasks: Iterable) -> tuple[str, ...]:
+    """The sorted service names a workload requests.
+
+    Synthetic workloads keep the paper's single ``"cpu-burn"`` service
+    (also the fallback for an empty workload), while replayed traces —
+    whose tasks carry queue/partition-derived service names — stay
+    schedulable instead of being rejected wholesale.
+
+    >>> from repro.simulation.task import Task
+    >>> workload_services([Task(service="q2"), Task(service="q1"), Task()])
+    ('cpu-burn', 'q1', 'q2')
+    >>> workload_services([])
+    ('cpu-burn',)
+    """
+    return tuple(sorted({task.service for task in tasks})) or DEFAULT_SERVICES
+
 
 def build_hierarchy(
     platform: Platform,
     *,
     scheduler: PluginScheduler | None = None,
-    services: Iterable[str] = ("cpu-burn",),
+    services: Iterable[str] | None = None,
+    workload: Sequence | None = None,
     per_cluster_agents: bool = True,
     queues: QueueSet | None = None,
 ) -> tuple[MasterAgent, Mapping[str, ServerDaemon]]:
@@ -36,7 +57,12 @@ def build_hierarchy(
         Plug-in scheduler installed on every agent (may be replaced later
         with :meth:`~repro.middleware.agents.Agent.set_scheduler`).
     services:
-        Services offered by every SeD.
+        Services offered by every SeD.  When omitted, they are derived
+        from ``workload`` (every service the workload requests), falling
+        back to the paper's single ``"cpu-burn"`` service.
+    workload:
+        Optional task sequence the hierarchy will serve; only consulted
+        when ``services`` is omitted (see :func:`workload_services`).
     per_cluster_agents:
         When true (default), one Local Agent per cluster is inserted
         between the MA and the SeDs, mirroring the paper's deployment;
@@ -51,6 +77,10 @@ def build_hierarchy(
     (master, seds):
         The Master Agent and a mapping from node name to SeD.
     """
+    if services is None:
+        services = (
+            workload_services(workload) if workload is not None else DEFAULT_SERVICES
+        )
     services = tuple(services)
     master = MasterAgent(scheduler=scheduler)
     seds: dict[str, ServerDaemon] = {}

@@ -2,9 +2,11 @@
 
 ``execute_scenario`` is the single entry point that turns a
 :class:`~repro.runner.spec.ScenarioSpec` into a
-:class:`~repro.runner.store.ScenarioResult`; it dispatches on the
-``experiment`` field and is importable at module level, which makes it
-picklable for :class:`concurrent.futures.ProcessPoolExecutor`.
+:class:`~repro.runner.store.ScenarioResult`; it resolves the spec into a
+:class:`~repro.lab.session.LabSession` (one assembly path for every
+experiment family — see :mod:`repro.lab.compat`) and is importable at
+module level, which makes it picklable for
+:class:`concurrent.futures.ProcessPoolExecutor`.
 
 ``run_sweep`` adds the orchestration: cache lookup against a
 :class:`~repro.runner.store.ResultStore`, fan-out over ``jobs`` worker
@@ -14,10 +16,10 @@ byte-identical output as a serial one.  Determinism holds because every
 scenario is a pure function of its spec (all randomness is seeded from
 ``spec.seed``); workers share no state.
 
-The experiment modules are imported lazily inside the dispatch functions:
-the runner package stays import-light and free of circular dependencies
-(experiment modules themselves declare their grids with
-:mod:`repro.runner.spec`).
+The lab (and, through it, the experiment modules) is imported lazily
+inside ``execute_scenario``: the runner package stays import-light and
+free of circular dependencies (experiment modules themselves declare
+their grids with :mod:`repro.runner.spec`).
 """
 
 from __future__ import annotations
@@ -37,162 +39,15 @@ ProgressCallback = Callable[[int, ScenarioResult, int], None]
 StoreLike = Union[ResultStore, str, Path, None]
 
 
-def _greenperf_metric(total_energy: float, task_count: float) -> float:
-    """Run-level GreenPerf: energy per completed task (power/throughput)."""
-    return total_energy / task_count if task_count else 0.0
-
-
-def _reject_unused(spec: ScenarioSpec, **unused: object) -> None:
-    """Refuse spec fields the experiment family would silently ignore.
-
-    Every field participates in the content hash, so a sweep over a field
-    the dispatcher ignores would run identical simulations under distinct
-    labels (and cache them as distinct entries).  Failing loudly keeps
-    sweep axes honest.
-    """
-    for name, default in unused.items():
-        if getattr(spec, name) != default:
-            raise ValueError(
-                f"{spec.experiment} scenarios do not use {name!r} "
-                f"(got {getattr(spec, name)!r}); drop it from the sweep axes"
-            )
-
-
-def _execute_placement(spec: ScenarioSpec) -> ScenarioResult:
-    from repro.experiments.placement import run_placement_experiment
-    from repro.experiments.presets import placement_config_for
-
-    _reject_unused(spec, horizon=None, timeline=None)
-    if spec.policy != "GREEN_SCORE":
-        _reject_unused(spec, preference=0.0)
-    if spec.policy != "RANDOM":
-        _reject_unused(spec, seed=0)
-    config = placement_config_for(
-        platform=spec.platform,
-        workload=spec.workload,
-        seed=spec.seed,
-        trace=spec.trace,
-        overrides=dict(spec.overrides),
-    )
-    policy_kwargs = {}
-    if spec.policy == "GREEN_SCORE":
-        policy_kwargs["default_preference"] = spec.preference
-    # Sweep workers skip per-task trace recording: nothing in the sweep
-    # path reads it, and million-task replays would allocate four trace
-    # events per task for nothing.
-    result = run_placement_experiment(
-        spec.policy, config, trace_level="off", **policy_kwargs
-    )
-    metrics = result.metrics
-    return ScenarioResult(
-        spec=spec,
-        metrics={
-            "makespan": metrics.makespan,
-            "total_energy": metrics.total_energy,
-            "task_count": float(metrics.task_count),
-            "mean_response_time": metrics.mean_response_time,
-            "mean_queue_delay": metrics.mean_queue_delay,
-            "greenperf": _greenperf_metric(metrics.total_energy, metrics.task_count),
-            "events": float(result.events_processed),
-        },
-        detail={
-            "tasks_per_node": dict(metrics.tasks_per_node),
-            "tasks_per_cluster": dict(metrics.tasks_per_cluster),
-            "energy_per_cluster": dict(metrics.energy_per_cluster),
-        },
-    )
-
-
-def _execute_heterogeneity(spec: ScenarioSpec) -> ScenarioResult:
-    from repro.experiments.greenperf_eval import (
-        heterogeneity_params_for,
-        run_heterogeneity_point,
-    )
-
-    _reject_unused(spec, preference=0.0, horizon=None, trace=None, timeline=None)
-    if spec.policy != "RANDOM":
-        _reject_unused(spec, seed=0)
-    if not spec.platform.startswith("types"):
-        raise ValueError(
-            f"heterogeneity platforms are 'types2'..'types4', got {spec.platform!r}"
-        )
-    kinds = int(spec.platform.removeprefix("types"))
-    params = heterogeneity_params_for(spec.workload, overrides=dict(spec.overrides))
-    point = run_heterogeneity_point(spec.policy, kinds, seed=spec.seed, **params)
-    task_count = float(sum(point.tasks_per_type.values()))
-    return ScenarioResult(
-        spec=spec,
-        metrics={
-            "makespan": point.makespan,
-            "total_energy": point.total_energy,
-            "task_count": task_count,
-            "mean_energy_per_task": point.mean_energy_per_task,
-            "mean_completion_time": point.mean_completion_time,
-            "greenperf": _greenperf_metric(point.total_energy, task_count),
-            # No "events" metric: the closed-loop study runs without the
-            # event engine, and a fabricated count would pollute the
-            # profile report's events/sec aggregate.
-        },
-        detail={"tasks_per_type": dict(point.tasks_per_type)},
-    )
-
-
-def _execute_adaptive(spec: ScenarioSpec) -> ScenarioResult:
-    from repro.experiments.adaptive import adaptive_config_for, run_adaptive_experiment
-
-    # The Figure 9 scenario always schedules with GreenPerf and has no
-    # stochastic component (generated fault timelines are seeded at
-    # generation time, so a timeline file is deterministic content too).
-    _reject_unused(spec, policy="GREENPERF", preference=0.0, seed=0, trace=None)
-    timeline = None
-    if spec.timeline is not None:
-        from repro.scenario.io import load_timeline
-
-        timeline = load_timeline(spec.timeline)
-    config = adaptive_config_for(
-        platform=spec.platform,
-        workload=spec.workload,
-        horizon=spec.horizon,
-        timeline=timeline,
-        overrides=dict(spec.overrides),
-    )
-    result = run_adaptive_experiment(config, trace_level="off")
-    return ScenarioResult(
-        spec=spec,
-        metrics={
-            "makespan": config.duration,
-            "total_energy": result.total_energy,
-            "task_count": float(result.completed_tasks),
-            "final_candidates": float(result.candidates_at(config.duration)),
-            "greenperf": _greenperf_metric(
-                result.total_energy, float(result.completed_tasks)
-            ),
-            "events": float(result.events_processed),
-            "failed_tasks": float(result.failed_tasks),
-            "rejected_tasks": float(result.rejected_tasks),
-        },
-        detail={
-            "candidate_series": [
-                [time, count] for time, count in result.candidate_series
-            ],
-        },
-    )
-
-
-_DISPATCH = {
-    "placement": _execute_placement,
-    "heterogeneity": _execute_heterogeneity,
-    "adaptive": _execute_adaptive,
-}
-
-
 def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Run one scenario in-process and return its result.
 
     This is the unit of work shipped to pool workers; it must stay a
     module-level function so it pickles.
     """
-    return _DISPATCH[spec.experiment](spec)
+    from repro.lab.compat import execute_spec
+
+    return execute_spec(spec)
 
 
 def execute_scenario_timed(spec: ScenarioSpec) -> tuple[ScenarioResult, float]:

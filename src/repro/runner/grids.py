@@ -163,6 +163,62 @@ def timeline_grid(
     )
 
 
+def cross_grid(
+    trace: str,
+    timeline: str,
+    *,
+    platforms: Sequence[str] = ("quick", "half"),
+    policies: Sequence[str] = ("POWER", "PERFORMANCE"),
+    horizons: Sequence[float] = (1800.0, 3600.0),
+) -> tuple[ScenarioSpec, ...]:
+    """The trace × timeline × provisioning cross-product grid.
+
+    This is the grid behind ``repro sweep --grid cross --trace FILE
+    --timeline FILE`` (and behind giving ``--trace`` and ``--timeline``
+    together) — the composition the pre-lab assembly paths could not
+    express.  Two slices:
+
+    * a **placement** slice (platforms × policies): the recorded request
+      stream placed by each policy while the timeline crashes and
+      repairs nodes under it;
+    * an **adaptive** slice (platforms × horizons): the same stream
+      replayed open-loop through the provisioning planner — e.g. a real
+      SWF week through adaptive provisioning under a crash storm.
+
+    Both content hashes (trace bytes, parsed timeline) fold into every
+    scenario hash, so the store stays correct across edits and moves of
+    either file.
+    """
+    placement = ScenarioSpec(
+        experiment="placement",
+        platform=platforms[0],
+        workload="trace",
+        trace=trace,
+        timeline=timeline,
+    )
+    adaptive = ScenarioSpec(
+        experiment="adaptive",
+        platform=platforms[0],
+        workload="trace",
+        policy="GREENPERF",
+        trace=trace,
+        timeline=timeline,
+        horizon=horizons[0],
+    )
+    return expand_grid(
+        (
+            SweepSpec(
+                placement,
+                {"platform": tuple(platforms), "policy": tuple(policies)},
+            ),
+            SweepSpec(
+                adaptive,
+                {"platform": tuple(platforms), "horizon": tuple(horizons)},
+            ),
+        )
+    )
+
+
 _GRIDS: dict[str, Callable[[], tuple[ScenarioSpec, ...]]] = {
     "default": _default_grid,
     "smoke": _smoke_grid,

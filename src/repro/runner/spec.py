@@ -121,14 +121,19 @@ class ScenarioSpec:
     seed:
         Random seed threaded into any stochastic component (e.g. RANDOM).
     horizon:
-        Optional simulation-duration cap in seconds (adaptive scenarios).
+        Optional simulation-duration cap in seconds (engine-driven
+        scenarios: the adaptive observation window, or a cap on a
+        placement run).
     overrides:
         Extra experiment parameters escaping the presets, as a key-sorted
         tuple of ``(name, scalar)`` pairs (a mapping is accepted and
         normalised).
     trace:
-        Path of a CSV trace file replayed as the scenario workload
-        (requires ``workload="trace"``); see ``docs/TRACE_FORMAT.md``.
+        Path of a trace file (CSV, or a raw ``.swf`` log mapped with the
+        default field mapping) replayed as the scenario workload
+        (requires ``workload="trace"``); legal on every experiment
+        family since the :mod:`repro.lab` refactor.  See
+        ``docs/TRACE_FORMAT.md``.
     trace_hash:
         Content hash of the trace file.  Computed from the file when
         omitted; pass it explicitly (as :meth:`from_mapping` does when
@@ -138,7 +143,10 @@ class ScenarioSpec:
         Path of an event-timeline file (TOML/JSON, see
         ``docs/SCENARIOS.md``) injected into the scenario — tariff
         schedules, thermal excursions, node crashes, workload bursts.
-        Only the ``adaptive`` experiment family consumes timelines.
+        Legal on every experiment family: the adaptive planner reacts to
+        all of it, engine-driven placement runs take the fault events,
+        and the heterogeneity point study turns node failures into
+        server-unavailability windows.
     timeline_hash:
         Content hash of the *parsed* timeline.  Computed from the file
         when omitted; like ``trace_hash``, it is what participates in the

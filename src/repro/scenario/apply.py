@@ -16,6 +16,10 @@ Two halves, matching the paper's scheduled/unexpected split:
   Workload bursts need no engine event: closed-loop clients sample
   :meth:`~repro.scenario.events.EventTimeline.arrival_multiplier` at each
   tick.
+
+:func:`apply_timeline` is the one-call form the lab assembly
+(:mod:`repro.lab.session`) uses: build the schedules *and* install the
+faults, in that order, for any experiment family.
 """
 
 from __future__ import annotations
@@ -76,7 +80,21 @@ def install_timeline(
     arrivals or completions, the crash fires first — a task completing at
     the exact crash instant is lost, not saved by FIFO luck — keeping
     tie-breaking deterministic and pessimistic.
+
+    Node names are validated against the simulation's platform up front:
+    a timeline naming a node the selected platform does not have fails
+    here, at assembly time, instead of crashing mid-run when the fault
+    fires.
     """
+    known = {node.name for node in simulation.platform.nodes}
+    unknown = sorted(
+        {event.node for event in timeline.node_events if event.node not in known}
+    )
+    if unknown:
+        raise ValueError(
+            f"timeline names node(s) {unknown} that do not exist on this "
+            f"platform; available: {sorted(known)}"
+        )
     handles = []
     for event in timeline.node_events:
         if isinstance(event, NodeFailure):
@@ -98,3 +116,24 @@ def install_timeline(
             continue
         handles.append(handle)
     return tuple(handles)
+
+
+def apply_timeline(
+    simulation: "MiddlewareSimulation",
+    timeline: EventTimeline,
+    *,
+    base_temperature: float = 21.0,
+    default_cost: float = 1.0,
+    requeue: bool = True,
+) -> tuple[ElectricityCostSchedule, ThermalEnvironment, Sequence["ScheduledEvent"]]:
+    """Wire a whole timeline into a running simulation, in one call.
+
+    Builds the electricity/thermal schedules (for a provisioning planner
+    to consume, if one is installed) and schedules the fault events on
+    the engine; returns ``(electricity, thermal, fault_handles)``.
+    """
+    electricity, thermal = build_schedules(
+        timeline, base_temperature=base_temperature, default_cost=default_cost
+    )
+    handles = install_timeline(simulation, timeline, requeue=requeue)
+    return electricity, thermal, handles

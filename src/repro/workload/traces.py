@@ -172,7 +172,14 @@ class TraceWorkload(WorkloadGenerator):
 
     @classmethod
     def from_file(cls, path: str | Path, *, lazy: bool = False) -> "TraceWorkload":
-        """Load a CSV trace file into a workload.
+        """Load a trace file into a workload.
+
+        A ``.swf`` extension selects the Standard Workload Format parser
+        with the default field mapping (``repro trace convert`` exposes
+        the mapping knobs when the defaults do not fit); anything else is
+        read as the native CSV format.  Either way every experiment
+        family sees the same task stream, so a raw SWF log and its
+        converted CSV compose identically.
 
         ``lazy=True`` defers reading (and any resulting :class:`ValueError`)
         to the first :meth:`generate` call.
@@ -183,9 +190,18 @@ class TraceWorkload(WorkloadGenerator):
         >>> [task.flop for task in TraceWorkload.from_file(path)]
         [50000000.0]
         """
+        if Path(path).suffix.lower() == ".swf":
+            def _load() -> tuple[Task, ...]:
+                from repro.workload.ingest import load_swf_trace
+
+                return load_swf_trace(path)
+        else:
+            def _load() -> tuple[Task, ...]:
+                return load_trace(path)
+
         if lazy:
-            return cls(loader=lambda: load_trace(path))
-        return cls(tasks=load_trace(path))
+            return cls(loader=_load)
+        return cls(tasks=_load())
 
     @classmethod
     def from_iter(cls, tasks: Iterable[Task]) -> "TraceWorkload":

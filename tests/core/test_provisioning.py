@@ -212,6 +212,39 @@ class TestPowerManagement:
         assert all(node.state is not NodeState.BOOTING for node in platform.nodes)
 
 
+class TestStaleBootCompletions:
+    def test_crash_during_boot_does_not_let_the_stale_event_finish_a_reboot(self):
+        """A boot abandoned by a crash must not be completed by its
+        already-scheduled engine event once the node re-boots: the second
+        boot has its own, later, promised completion time."""
+        config = ProvisioningConfig(manage_power=True)
+        planner, platform, *_ = make_planner(config=config, with_engine=True)
+        engine = planner.engine
+        node = platform.nodes[0]
+        node.power_off()
+        boot_time = node.spec.boot_time
+        assert boot_time > 0
+
+        planner._power_on(node.name, 0.0)  # completion promised at boot_time
+        engine.schedule(0.25 * boot_time, lambda: node.fail(now=engine.now))
+        engine.schedule(0.50 * boot_time, node.repair)  # mid-boot crash -> OFF
+        restart_at = 0.75 * boot_time
+        engine.schedule(
+            restart_at, lambda: planner._power_on(node.name, restart_at)
+        )
+
+        observed = {}
+        engine.schedule(
+            boot_time + 1e-6, lambda: observed.update(after_stale=node.state)
+        )
+        engine.run()
+        # At the stale event's time the re-boot is still in progress...
+        assert observed["after_stale"] is NodeState.BOOTING
+        # ...and it completes on its own schedule.
+        assert node.state is NodeState.ON
+        assert engine.now == pytest.approx(restart_at + boot_time)
+
+
 class TestPeriodicScheduling:
     def test_start_requires_engine(self):
         planner, *_ = make_planner(with_engine=False)

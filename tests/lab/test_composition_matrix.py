@@ -1,0 +1,144 @@
+"""The lab's composition matrix: any workload × any family × any timeline.
+
+Before the ``repro.lab`` refactor the scenario space was the union of
+three narrow slices (traces reached only the placement family, timelines
+only the adaptive family).  This suite sweeps the full cross-product —
+{synthetic, mini.swf} × {placement, heterogeneity, adaptive} ×
+{no timeline, failures.toml} — and asserts that every combination runs,
+that a ``--jobs 4`` sweep over the whole matrix is byte-identical to a
+serial one, and that a re-run against a store is served entirely from
+cache.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.runner.executor as executor_module
+from repro.runner.executor import execute_scenario, run_scenarios
+from repro.runner.reporting import format_sweep_summary
+from repro.runner.spec import ScenarioSpec
+
+DATA = Path(__file__).parent.parent / "data"
+MINI_SWF = str(DATA / "mini.swf")
+FAILURES = str(DATA / "failures.toml")
+
+#: Shortened adaptive horizon: long enough for three provisioning checks
+#: and the failures.toml crash/repair cycle, short enough for unit tests.
+HORIZON = 1800.0
+
+
+def _family_base(family: str, workload: str) -> ScenarioSpec:
+    trace = MINI_SWF if workload == "trace" else None
+    if family == "placement":
+        return ScenarioSpec(
+            experiment="placement",
+            platform="tiny",
+            workload="tiny" if workload != "trace" else "trace",
+            trace=trace,
+        )
+    if family == "heterogeneity":
+        return ScenarioSpec(
+            experiment="heterogeneity",
+            platform="types2",
+            workload="tiny" if workload != "trace" else "trace",
+            policy="GREENPERF",
+            trace=trace,
+        )
+    return ScenarioSpec(
+        experiment="adaptive",
+        platform="quick",
+        workload="quick" if workload != "trace" else "trace",
+        policy="GREENPERF",
+        horizon=HORIZON,
+        trace=trace,
+    )
+
+
+def composition_matrix() -> tuple[ScenarioSpec, ...]:
+    """{synthetic, mini.swf} × {placement, heterogeneity, adaptive} ×
+    {no timeline, failures.toml} — 12 scenarios."""
+    specs = []
+    for workload in ("synthetic", "trace"):
+        for family in ("placement", "heterogeneity", "adaptive"):
+            for timeline in (None, FAILURES):
+                specs.append(
+                    _family_base(family, workload).replace(timeline=timeline)
+                )
+    return tuple(specs)
+
+
+MATRIX = composition_matrix()
+
+
+class TestCompositionMatrix:
+    def test_matrix_is_the_full_cross_product(self):
+        assert len(MATRIX) == 12
+        assert len({spec.content_hash() for spec in MATRIX}) == 12
+        assert {spec.experiment for spec in MATRIX} == {
+            "placement",
+            "heterogeneity",
+            "adaptive",
+        }
+        assert sum(spec.trace is not None for spec in MATRIX) == 6
+        assert sum(spec.timeline is not None for spec in MATRIX) == 6
+
+    @pytest.mark.parametrize("spec", MATRIX, ids=lambda spec: spec.scenario_id)
+    def test_each_combination_runs(self, spec):
+        result = execute_scenario(spec)
+        assert result.metrics["task_count"] > 0
+        assert result.metrics["total_energy"] > 0
+        assert result.metrics["greenperf"] > 0
+
+    def test_four_workers_match_serial_byte_for_byte(self):
+        serial = run_scenarios(MATRIX, jobs=1)
+        parallel = run_scenarios(MATRIX, jobs=4)
+        assert [r.metrics for r in serial.results] == [
+            r.metrics for r in parallel.results
+        ]
+        assert [r.detail for r in serial.results] == [
+            r.detail for r in parallel.results
+        ]
+        assert format_sweep_summary(serial) == format_sweep_summary(parallel)
+
+    def test_rerun_is_all_cache_hits(self, tmp_path, monkeypatch):
+        store = tmp_path / "results.jsonl"
+        first = run_scenarios(MATRIX, jobs=4, store=store)
+        assert first.executed == 12 and first.cached == 0
+
+        def _boom(spec):
+            raise AssertionError(f"scenario {spec.scenario_id} was re-simulated")
+
+        monkeypatch.setattr(executor_module, "execute_scenario", _boom)
+        second = run_scenarios(MATRIX, store=store)
+        assert second.executed == 0 and second.cached == 12
+        assert [r.metrics for r in second.results] == [
+            r.metrics for r in first.results
+        ]
+
+    def test_timeline_changes_every_family_result(self, tmp_path):
+        """The injected crash must actually reach each family's simulation.
+
+        ``failures.toml`` crashes a node at t=600 s — after the tiny
+        workloads complete — so this check uses an early crash that
+        overlaps every family's busy window and asserts the physical
+        outcome (energy/makespan) moves, not just bookkeeping keys.
+        """
+        early = tmp_path / "early-crash.json"
+        early.write_text(
+            '{"events": ['
+            '{"kind": "node_failure", "time": 5.0, "node": "orion-0"},'
+            '{"kind": "node_failure", "time": 5.0, "node": "taurus-0"},'
+            '{"kind": "node_recovery", "time": 40.0, "node": "orion-0"},'
+            '{"kind": "node_recovery", "time": 40.0, "node": "taurus-0"}]}'
+        )
+        for family in ("placement", "heterogeneity", "adaptive"):
+            base = _family_base(family, "synthetic")
+            plain = execute_scenario(base)
+            faulty = execute_scenario(base.replace(timeline=str(early)))
+            core = ("makespan", "total_energy")
+            assert {key: plain.metrics[key] for key in core} != {
+                key: faulty.metrics[key] for key in core
+            }, family

@@ -65,11 +65,11 @@ class TestExecuteScenario:
         [
             # Fields the dispatcher would ignore must be rejected, not hashed
             # into silently-duplicate scenarios.
-            ScenarioSpec(experiment="placement", horizon=100.0),
             ScenarioSpec(experiment="placement", policy="POWER", preference=0.5),
             ScenarioSpec(experiment="placement", policy="POWER", seed=1),
             ScenarioSpec(experiment="heterogeneity", platform="types2", preference=0.5),
             ScenarioSpec(experiment="heterogeneity", platform="types2", policy="GREENPERF", seed=1),
+            ScenarioSpec(experiment="heterogeneity", platform="types2", horizon=100.0),
             ScenarioSpec(experiment="adaptive", policy="POWER"),
             ScenarioSpec(experiment="adaptive", seed=1),
         ],
@@ -77,6 +77,19 @@ class TestExecuteScenario:
     def test_unused_spec_fields_rejected(self, spec):
         with pytest.raises(ValueError, match="do not use"):
             execute_scenario(spec)
+
+    def test_placement_horizon_caps_the_run(self):
+        """Since the lab refactor a horizon is legal on every engine-driven
+        family: the placement run stops observing at the cap."""
+        free = execute_scenario(
+            ScenarioSpec(experiment="placement", platform="tiny", workload="tiny")
+        )
+        capped = execute_scenario(
+            ScenarioSpec(
+                experiment="placement", platform="tiny", workload="tiny", horizon=10.0
+            )
+        )
+        assert capped.metrics["task_count"] < free.metrics["task_count"]
 
     def test_preference_reaches_green_score_policy(self):
         energy_biased = execute_scenario(
@@ -253,16 +266,30 @@ class TestFaultySweepDeterminism:
         assert metrics["task_count"] > 0
         assert metrics["failed_tasks"] == 0.0
 
-    def test_timeline_rejected_outside_adaptive(self):
-        with pytest.raises(ValueError, match="do not use"):
-            execute_scenario(
-                ScenarioSpec(
-                    experiment="placement",
-                    platform="tiny",
-                    workload="tiny",
-                    timeline=FAULTY_TIMELINE,
-                )
+    def test_timeline_composes_with_every_family(self):
+        """Since the lab refactor a timeline is legal on every family: the
+        placement run sees the crash (fault injection), the heterogeneity
+        study sees it as a server-unavailability window."""
+        placement = execute_scenario(
+            ScenarioSpec(
+                experiment="placement",
+                platform="tiny",
+                workload="tiny",
+                timeline=FAULTY_TIMELINE,
             )
+        )
+        assert placement.metrics["task_count"] > 0
+        assert "failed_tasks" in placement.metrics
+        heterogeneity = execute_scenario(
+            ScenarioSpec(
+                experiment="heterogeneity",
+                platform="types2",
+                workload="tiny",
+                policy="GREENPERF",
+                timeline=FAULTY_TIMELINE,
+            )
+        )
+        assert heterogeneity.metrics["task_count"] == 10
 
 
 class TestProfiledRuns:

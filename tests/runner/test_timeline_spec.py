@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.runner.spec import ScenarioSpec
-from repro.runner.store import ResultStore
 from repro.scenario.events import NodeFailure, TariffChange
 from repro.scenario.io import save_timeline
 from repro.scenario.events import EventTimeline

@@ -123,26 +123,33 @@ class TestTraceExecution:
         assert result.metrics["task_count"] == 6.0
         assert result.metrics["total_energy"] > 0
 
-    def test_heterogeneity_rejects_trace(self, trace_file):
+    def test_heterogeneity_replays_trace(self, trace_file):
+        """Since the lab refactor traces are legal on every family: the
+        point study replays the stream open-loop over its servers."""
         spec = ScenarioSpec(
             experiment="heterogeneity",
             platform="types2",
             workload="trace",
             trace=str(trace_file),
         )
-        with pytest.raises(ValueError, match="do not use 'trace'"):
-            execute_scenario(spec)
+        result = execute_scenario(spec)
+        assert result.metrics["task_count"] == 6.0
+        assert result.metrics["mean_energy_per_task"] > 0
 
-    def test_adaptive_rejects_trace(self, trace_file):
+    def test_adaptive_replays_trace_through_provisioning(self, trace_file):
+        """A trace under adaptive provisioning — the cross-product
+        composition the pre-lab assembly paths could not express."""
         spec = ScenarioSpec(
             experiment="adaptive",
             platform="quick",
             workload="trace",
             policy="GREENPERF",
             trace=str(trace_file),
+            horizon=1800.0,
         )
-        with pytest.raises(ValueError, match="do not use 'trace'"):
-            execute_scenario(spec)
+        result = execute_scenario(spec)
+        assert result.metrics["task_count"] == 6.0
+        assert result.metrics["final_candidates"] >= 1.0
 
     def test_sweep_caches_by_trace_content(self, trace_file, tmp_path):
         store = tmp_path / "store.jsonl"

@@ -1,7 +1,5 @@
 """Tests for timeline wiring: schedules, fault injection, driver semantics."""
 
-import pytest
-
 from repro.experiments.presets import PlacementExperimentConfig
 from repro.infrastructure.node import NodeState
 from repro.middleware.driver import MiddlewareSimulation
@@ -51,6 +49,32 @@ class TestBuildSchedules:
         )
         assert electricity.periods == ()
         assert thermal.events == ()
+
+
+class TestUnknownNodeValidation:
+    def test_unknown_node_rejected_at_assembly_time(self):
+        _, simulation = make_simulation()
+        timeline = EventTimeline([NodeFailure(time=60.0, node="orion-99")])
+        try:
+            install_timeline(simulation, timeline)
+        except ValueError as error:
+            assert "orion-99" in str(error)
+            assert "available" in str(error)
+        else:
+            raise AssertionError("unknown node was silently accepted")
+        # Nothing was scheduled: the engine runs to completion untouched.
+        simulation.run()
+
+    def test_known_nodes_install_cleanly(self):
+        _, simulation = make_simulation()
+        timeline = EventTimeline(
+            [
+                NodeFailure(time=60.0, node="orion-0"),
+                NodeRecovery(time=120.0, node="orion-0"),
+            ]
+        )
+        handles = install_timeline(simulation, timeline)
+        assert len(handles) == 2
 
 
 class TestNodeFailureInDriver:

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
+
+DATA = Path(__file__).parent / "data"
 
 
 class TestParser:
@@ -143,4 +148,127 @@ class TestSweepCommand:
         assert main(["sweep", "--grid", "nope"]) == 2
         err = capsys.readouterr().err
         assert "unknown grid 'nope'" in err
+        assert "Traceback" not in err
+
+    def test_cross_grid_requires_both_files(self, capsys):
+        assert main(["sweep", "--grid", "cross"]) == 2
+        err = capsys.readouterr().err
+        assert "both --trace" in err
+
+    def test_named_grid_still_excludes_trace(self, capsys):
+        assert main(["sweep", "--grid", "smoke", "--trace", "x.csv"]) == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+
+    def test_trace_and_timeline_compose_into_the_cross_grid(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--trace", str(DATA / "mini.swf"),
+                    "--timeline", str(DATA / "failures.toml"),
+                    "--filter", "placement/quick",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cross:mini.swf+failures.toml" in out
+        assert "trace=mini.swf/timeline=failures.toml" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestLabRun:
+    def test_placement_composition(self, capsys):
+        assert main(["lab", "run", "--platform", "tiny", "--workload", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Lab run — placement/tiny/tiny/POWER" in out
+        assert "middleware backend" in out
+        assert "total_energy" in out
+
+    def test_adaptive_defaults_to_greenperf_and_reports_provisioning(self, capsys):
+        assert (
+            main(
+                [
+                    "lab", "run",
+                    "--family", "adaptive",
+                    "--horizon", "1800",
+                    "--timeline", str(DATA / "failures.toml"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "GREENPERF" in out
+        assert "provisioning:" in out
+        assert "timeline: 6 event(s) injected" in out
+
+    def test_heterogeneity_trace_composition(self, capsys):
+        assert (
+            main(
+                [
+                    "lab", "run",
+                    "--family", "heterogeneity",
+                    "--platform", "types2",
+                    "--trace", str(DATA / "mini.swf"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "point backend" in out
+        assert "mean_energy_per_task" in out
+
+    def test_set_overrides_experiment_parameters(self, capsys):
+        assert (
+            main(
+                [
+                    "lab", "run",
+                    "--platform", "tiny",
+                    "--workload", "tiny",
+                    "--set", "requests_per_core=1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "requests_per_core=1" in out
+
+    def test_bad_override_exits_cleanly(self, capsys):
+        assert main(["lab", "run", "--set", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "KEY=VALUE" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "argv,expected",
+        [
+            (["lab", "run", "--set", "check_period=300"], "placement parameter"),
+            (
+                ["lab", "run", "--family", "adaptive", "--set", "nope=1"],
+                "adaptive parameter",
+            ),
+            (
+                [
+                    "lab", "run",
+                    "--family", "heterogeneity",
+                    "--platform", "types2",
+                    "--set", "nope=1",
+                ],
+                "heterogeneity parameter",
+            ),
+        ],
+    )
+    def test_unknown_override_key_exits_cleanly(self, capsys, argv, expected):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert expected in err
+        assert "valid overrides" in err
         assert "Traceback" not in err

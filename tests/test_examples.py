@@ -10,8 +10,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -32,6 +30,11 @@ class TestExamples:
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert "quickstart.py" in scripts
         assert len(scripts) >= 5
+
+    def test_lab_composition(self):
+        out = run_example("lab_composition.py")
+        assert "crash storm" in out
+        assert "fault events injected" in out
 
     def test_quickstart(self):
         out = run_example("quickstart.py")

@@ -8,7 +8,6 @@ limits and stay deterministic.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.greenperf import GreenPerfRanking

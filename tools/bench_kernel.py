@@ -10,6 +10,12 @@ peak RSS and the size of the accounting store:
 * ``exact``     — segment accounting, analytic integration;
 * ``polling``   — the seed's 1 Hz wattmeter loop (O(nodes × seconds)).
 
+A fourth case, ``combined``, exercises the full ``repro.lab``
+composition on the same scale: the task stream written to (and replayed
+from) a trace file, a seeded crash-storm + tariff timeline injected, and
+the adaptive provisioning planner active — the
+trace × timeline × provisioning cross-product end-to-end.
+
 Each mode runs in its own subprocess so peak-RSS figures are independent
 high-water marks.  Results are written to ``BENCH_kernel.json`` (override
 with ``--out``); ``--quick`` shrinks the scenario for CI smoke runs
@@ -42,6 +48,11 @@ FULL_SCENARIO = {"nodes": 50, "tasks": 10_000, "horizon_s": 604_800.0}
 QUICK_SCENARIO = {"nodes": 12, "tasks": 1_000, "horizon_s": 86_400.0}
 
 MODES = ("quantized", "exact", "polling")
+
+#: The lab-composition benchmark case (not an energy mode).
+COMBINED = "combined"
+
+ALL_CASES = MODES + (COMBINED,)
 
 
 def build_platform(node_count: int):
@@ -138,6 +149,76 @@ def run_mode(mode: str, scenario: dict) -> dict:
     }
 
 
+def run_combined(scenario: dict) -> dict:
+    """The trace × timeline × provisioning composition, through repro.lab.
+
+    The same task volume as the energy-mode cases, but arriving from a
+    written-then-replayed trace file, under a seeded crash storm with a
+    cyclic tariff schedule, scheduled by GreenPerf behind the adaptive
+    provisioning planner.
+    """
+    import tempfile
+
+    from repro.lab import (
+        LabSession,
+        PlatformSource,
+        PolicySource,
+        ProvisioningSource,
+        WorkloadSource,
+    )
+    from repro.scenario.generators import exponential_failures, periodic_tariffs
+    from repro.workload.traces import save_trace
+
+    horizon = scenario["horizon_s"]
+    nodes_per_cluster = max(1, scenario["nodes"] // 3)
+    platform_source = PlatformSource.table1(nodes_per_cluster)
+    node_names = [node.name for node in platform_source.build_platform().nodes]
+
+    timeline = exponential_failures(
+        node_names[:: max(1, len(node_names) // 8)],  # a handful of flaky nodes
+        mtbf=horizon / 4.0,
+        mttr=horizon / 50.0,
+        horizon=horizon,
+        seed=42,
+    ).extended(
+        periodic_tariffs(period=horizon / 4.0, costs=(1.0, 0.5), horizon=horizon).events
+    )
+    with tempfile.TemporaryDirectory(prefix="bench_kernel_") as tmpdir:
+        trace_path = Path(tmpdir) / "bench_trace.csv"
+        save_trace(trace_path, build_tasks(scenario["tasks"], horizon))
+        session = LabSession(
+            platform=platform_source,
+            workload=WorkloadSource.from_trace(trace_path),
+            policy=PolicySource("GREENPERF"),
+            provisioning=ProvisioningSource(),
+            timeline=timeline,
+            horizon=horizon,
+            trace_level="off",
+        )
+
+        started = time.perf_counter()
+        result = session.run()
+        wall = time.perf_counter() - started
+
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes, Linux kilobytes
+        peak_rss_kb //= 1024
+    events = int(result.metrics["events"])
+    return {
+        "mode": COMBINED,
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_s": round(events / wall) if wall else None,
+        "peak_rss_kb": peak_rss_kb,
+        "completed_tasks": int(result.metrics["task_count"]),
+        "total_energy_j": result.metrics["total_energy"],
+        "failed_tasks": int(result.metrics["failed_tasks"]),
+        "rejected_tasks": int(result.metrics["rejected_tasks"]),
+        "timeline_events": len(timeline),
+        "final_candidates": int(result.metrics["final_candidates"]),
+    }
+
+
 def run_mode_in_subprocess(mode: str, quick: bool) -> dict:
     """Isolate one mode in a child process for a clean peak-RSS reading."""
     env = dict(os.environ)
@@ -158,11 +239,15 @@ def run_mode_in_subprocess(mode: str, quick: bool) -> dict:
 
 
 def summarise(scenario: dict, by_mode: dict) -> dict:
+    by_mode = dict(by_mode)
+    combined = by_mode.pop(COMBINED, None)
     polling = by_mode.get("polling")
     report = {
         "scenario": scenario,
         "modes": by_mode,
     }
+    if combined is not None:
+        report["combined"] = combined
     if polling:
         report["speedup_vs_polling"] = {
             mode: round(polling["wall_s"] / by_mode[mode]["wall_s"], 1)
@@ -197,8 +282,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--modes",
-        default=",".join(MODES),
-        help=f"comma-separated subset of {MODES} (default: all)",
+        default=",".join(ALL_CASES),
+        help=f"comma-separated subset of {ALL_CASES} (default: all)",
     )
     parser.add_argument(
         "--run-mode",
@@ -216,24 +301,34 @@ def main(argv=None) -> int:
     if args.run_mode:
         if sys.path[0] != str(SRC):
             sys.path.insert(0, str(SRC))
-        print(json.dumps(run_mode(args.run_mode, scenario)))
+        if args.run_mode == COMBINED:
+            print(json.dumps(run_combined(scenario)))
+        else:
+            print(json.dumps(run_mode(args.run_mode, scenario)))
         return 0
 
     modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
-    unknown = set(modes) - set(MODES)
+    unknown = set(modes) - set(ALL_CASES)
     if unknown:
-        parser.error(f"unknown modes {sorted(unknown)}; choose from {MODES}")
+        parser.error(f"unknown modes {sorted(unknown)}; choose from {ALL_CASES}")
 
     by_mode = {}
     for mode in modes:
         print(f"running {mode} ...", flush=True)
         by_mode[mode] = run_mode_in_subprocess(mode, args.quick)
         stats = by_mode[mode]
+        if "store_objects" in stats:
+            store = f"{stats['store_objects']:,} {stats['store_kind']}"
+        else:
+            store = (
+                f"{stats['timeline_events']} timeline events, "
+                f"{stats['failed_tasks']} failed tasks"
+            )
         print(
             f"  {mode:<10} wall {stats['wall_s']:>9.3f} s   "
             f"{stats['events_per_s']:>12,} events/s   "
             f"peak RSS {stats['peak_rss_kb'] / 1024:>8.1f} MB   "
-            f"{stats['store_objects']:,} {stats['store_kind']}"
+            f"{store}"
         )
 
     report = summarise(scenario, by_mode)
