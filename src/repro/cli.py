@@ -19,6 +19,8 @@ Usage (after ``pip install -e .``)::
     repro trace inspect ...      # header directives + leading records
     repro timeline validate ...  # check an event-timeline file
     repro timeline inspect ...   # list a timeline's events
+    repro serve ...              # long-lived placement daemon (repro.serve)
+    repro replay ...             # fire a trace at a running daemon
     repro --version              # the installed package version
 
 (``python -m repro …`` works identically without installing.)
@@ -54,6 +56,13 @@ experiment parameters.
 
 ``repro timeline`` works with timeline files: ``validate`` parses and
 validates one (exit 2 on errors), ``inspect`` lists its events.
+
+``repro serve`` opens a lab composition as the long-lived placement
+daemon of :mod:`repro.serve` (``docs/SERVING.md``): HTTP/JSON task
+submission with per-tenant token-bucket quotas, a bounded backlog and
+micro-batched scoring.  ``repro replay`` is the matching client: it
+fires a trace file at a running daemon in real or accelerated time and
+prints the admission/placement totals.
 
 ``repro trace`` is the real-log pipeline (``docs/TRACE_FORMAT.md``):
 ``convert`` parses a Standard Workload Format log, maps jobs onto tasks
@@ -295,6 +304,104 @@ def _cmd_lab_run(args: argparse.Namespace) -> str:
     if result.timeline is not None:
         lines.append(f"timeline: {len(result.timeline)} event(s) injected")
     return "\n".join(lines)
+
+
+# -- repro serve / repro replay ---------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import math
+
+    from repro.experiments.presets import PLATFORM_PRESETS
+    from repro.lab import (
+        LabSession,
+        PlatformSource,
+        PolicySource,
+        ServeSource,
+        WorkloadSource,
+    )
+
+    if args.platform not in PLATFORM_PRESETS:
+        raise ValueError(
+            f"unknown platform preset {args.platform!r}; "
+            f"one of {', '.join(PLATFORM_PRESETS)}"
+        )
+    session = LabSession(
+        platform=PlatformSource.table1(PLATFORM_PRESETS[args.platform]),
+        workload=WorkloadSource.served(),
+        policy=PolicySource(
+            args.policy,
+            seed=args.seed if args.policy.strip().upper() == "RANDOM" else None,
+        ),
+        timeline=args.timeline,
+    )
+    service = session.open_service(
+        ServeSource(
+            quota_rate=args.quota_rate if args.quota_rate is not None else math.inf,
+            quota_burst=args.quota_burst,
+            queue_limit=args.queue_limit,
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window,
+        )
+    )
+
+    async def _run() -> None:
+        await service.start()
+        # Announced before blocking: with --port 0 the bound port is
+        # ephemeral and clients need it to connect.
+        print(f"repro serve: listening on {service.address} "
+              f"(policy {service.state.policy}); POST /shutdown stops it",
+              flush=True)
+        await service.serve_until_shutdown()
+
+    asyncio.run(_run())
+    stats = service.stats()
+    admission, batches, state = stats["admission"], stats["batches"], stats["state"]
+    rows = [
+        ("admitted", f"{admission['admitted']}"),
+        ("rejected (quota)", f"{admission['rejected']}"),
+        ("shed (backlog)", f"{admission['shed']}"),
+        ("placements", f"{state['decisions']}"),
+        ("completed", f"{state['completed']}"),
+        ("micro-batches", f"{batches['count']}"),
+        ("largest batch", f"{batches['largest']}"),
+        ("virtual time (s)", f"{state['time']:g}"),
+    ]
+    return "repro serve: shut down cleanly\n" + render_table(("counter", "value"), rows)
+
+
+def _cmd_replay(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.serve.replay import replay_trace
+
+    try:
+        report = asyncio.run(
+            replay_trace(
+                args.trace,
+                host=args.host,
+                port=args.port,
+                speed=args.speed,
+                window=args.window,
+                limit=args.limit,
+                repeat=args.repeat,
+                tenant=args.tenant,
+                shutdown=args.shutdown,
+            )
+        )
+    except ConnectionRefusedError:
+        raise ValueError(
+            f"no daemon listening on {args.host}:{args.port} "
+            f"(start one with 'repro serve')"
+        ) from None
+    rows = [(name, f"{value:g}" if isinstance(value, float) else f"{value}")
+            for name, value in report.as_dict().items()]
+    return (
+        f"Replay — {args.trace} -> {args.host}:{args.port}\n"
+        + render_table(("metric", "value"), rows)
+    )
 
 
 # -- repro trace ------------------------------------------------------------------------
@@ -770,6 +877,126 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of leading records to show (default: 10)",
     )
     inspect.set_defaults(handler=_cmd_trace_inspect)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived placement daemon (HTTP/JSON + admission)",
+        description="Open a lab composition as a live placement service: "
+        "task submissions arrive over HTTP/JSON, pass per-tenant "
+        "token-bucket quotas and a bounded backlog, and are scored in "
+        "micro-batches on a virtual clock (docs/SERVING.md).",
+    )
+    serve.add_argument(
+        "--platform",
+        default="quick",
+        help="platform preset: paper/half/quick/tiny (default: quick)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="GREENPERF",
+        help="scheduling policy electing nodes (default: GREENPERF)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="RANDOM-policy seed (default: 0)"
+    )
+    serve.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="inject this event-timeline file (TOML/JSON) into the live state",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8423,
+        help="TCP port (default: 8423; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        metavar="TOKENS_PER_S",
+        help="per-tenant token refill rate per virtual second "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=64.0,
+        help="per-tenant token-bucket capacity (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=0,
+        help="shed submissions once this many are admitted but unplaced "
+        "(default: 0 = never shed)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="accumulation delay before each micro-batch is scored "
+        "(default: 0 = score whatever has piled up)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="fire a trace file at a running placement daemon",
+        description="Replay a workload trace (CSV or raw .swf) against a "
+        "daemon started with 'repro serve', preserving trace order over "
+        "one pipelined connection, in real or accelerated time.",
+    )
+    replay.add_argument("trace", help="trace file to replay (.swf or CSV)")
+    replay.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: 127.0.0.1)"
+    )
+    replay.add_argument(
+        "--port", type=int, default=8423, help="daemon port (default: 8423)"
+    )
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="virtual seconds per wall second (1.0 = real time; "
+        "default: as fast as the socket allows)",
+    )
+    replay.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="submissions in flight before awaiting a response (default: 8)",
+    )
+    replay.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="COUNT",
+        help="replay only the first COUNT tasks",
+    )
+    replay.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="concatenate the trace with itself this many times (default: 1)",
+    )
+    replay.add_argument(
+        "--tenant",
+        default=None,
+        help="submit everything under one tenant (default: the trace users)",
+    )
+    replay.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send POST /shutdown after the last response",
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     timeline = subparsers.add_parser(
         "timeline", help="validate and inspect event-timeline files"

@@ -33,6 +33,7 @@ from repro.lab.components import (
     PlatformSource,
     PolicySource,
     ProvisioningSource,
+    ServeSource,
     WorkloadSource,
     resolve_timeline,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "PointSummary",
     "PolicySource",
     "ProvisioningSource",
+    "ServeSource",
     "WorkloadSource",
     "resolve_timeline",
 ]

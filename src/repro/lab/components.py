@@ -13,6 +13,8 @@ policy and an event scenario per experiment family:
 * :class:`PolicySource` — the plug-in scheduler under test;
 * :class:`ProvisioningSource` — the optional adaptive
   :class:`~repro.core.provisioning.ProvisioningPlanner`;
+* :class:`ServeSource` — admission quotas and socket parameters when a
+  session is opened as a live placement service (:mod:`repro.serve`);
 * :func:`resolve_timeline` — the optional declarative
   :class:`~repro.scenario.events.EventTimeline` (tariffs, thermal
   excursions, node crashes, workload bursts).
@@ -24,6 +26,7 @@ the combination once and assembles everything in one place.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Union
@@ -154,7 +157,7 @@ GeneratorLike = Union[WorkloadGenerator, Callable[[int], WorkloadGenerator]]
 class WorkloadSource:
     """Where a session's requests come from.
 
-    Four kinds:
+    Five kinds:
 
     * ``"generator"`` — a synthetic :class:`WorkloadGenerator` (or a
       factory called with the platform's total core count, which is how
@@ -166,7 +169,11 @@ class WorkloadSource:
       the current candidate nodes (requires provisioning);
     * ``"point-load"`` — the heterogeneity study's closed loop:
       ``clients`` clients each keeping one request in flight for
-      ``tasks_per_client`` tasks.
+      ``tasks_per_client`` tasks;
+    * ``"served"`` — requests arrive over the wire: the session is
+      opened as a live placement service
+      (:meth:`~repro.lab.session.LabSession.open_service`) instead of
+      being run to completion.
     """
 
     kind: str = "generator"
@@ -179,7 +186,7 @@ class WorkloadSource:
     tasks_per_client: int = 50
 
     def __post_init__(self) -> None:
-        if self.kind not in ("generator", "trace", "capacity", "point-load"):
+        if self.kind not in ("generator", "trace", "capacity", "point-load", "served"):
             raise LabError(f"unknown workload kind {self.kind!r}")
         if self.kind == "generator" and self.generator is None:
             raise LabError("generator workloads need a generator= or factory")
@@ -228,6 +235,11 @@ class WorkloadSource:
             tasks_per_client=tasks_per_client,
             task_flop=task_flop,
         )
+
+    @classmethod
+    def served(cls) -> "WorkloadSource":
+        """Requests arrive over the wire (open the session as a service)."""
+        return cls(kind="served")
 
     @property
     def open_loop(self) -> bool:
@@ -340,6 +352,42 @@ class ProvisioningSource:
             trace=trace,
             config=self.config(),
         )
+
+
+# -- serving ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeSource:
+    """The serving axis: how a ``"served"`` session faces its clients.
+
+    Pure configuration — the daemon itself lives in :mod:`repro.serve`
+    (imported lazily by :meth:`~repro.lab.session.LabSession.open_service`,
+    so batch experiments never pay for the serving layer).
+
+    ``quota_rate`` tokens per virtual second refill each tenant's bucket
+    (capacity ``quota_burst``); ``math.inf`` disables the quota gate.
+    ``queue_limit`` bounds the admitted-but-unplaced backlog (``0``
+    disables shedding).  ``batch_window`` adds a fixed accumulation
+    delay (wall seconds) before each micro-batch is scored.
+    """
+
+    quota_rate: float = math.inf
+    quota_burst: float = 64.0
+    queue_limit: int = 0
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 0:
+            raise LabError(f"queue_limit must be >= 0, got {self.queue_limit}")
+        if self.batch_window < 0:
+            raise LabError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.quota_burst <= 0:
+            raise LabError(f"quota_burst must be positive, got {self.quota_burst}")
+        if self.quota_rate <= 0:
+            raise LabError(f"quota_rate must be positive, got {self.quota_rate}")
 
 
 # -- timeline ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.lab.components import (
     PlatformSource,
     PolicySource,
     ProvisioningSource,
+    ServeSource,
     TimelineLike,
     WorkloadSource,
     resolve_timeline,
@@ -143,6 +144,18 @@ class LabSession:
                     "'point-load' workloads belong to server-types platforms; "
                     "use a generator, trace or capacity workload on table1"
                 )
+            if self.workload.kind == "served":
+                if self.provisioning is not None:
+                    raise LabError(
+                        "served sessions take no provisioning: the planner's "
+                        "periodic checks would interleave with live arrivals "
+                        "on a schedule no client controls"
+                    )
+                if self.horizon is not None:
+                    raise LabError(
+                        "served sessions have no horizon; the daemon runs "
+                        "until it is asked to shut down"
+                    )
             if self.workload.kind == "capacity":
                 if self.provisioning is None:
                     raise LabError(
@@ -162,9 +175,68 @@ class LabSession:
         """Validate, assemble and execute the session."""
         if not self._validated:
             self.validate()
+        if self.workload.kind == "served":
+            raise LabError(
+                "served sessions do not run to completion; open them with "
+                "open_state() or open_service() and drive them over the wire"
+            )
         if self.backend == "point":
             return self._run_point_study()
         return self._run_middleware()
+
+    # -- serving backend ----------------------------------------------------------------
+    def open_state(self):
+        """Assemble the session as resident serving state.
+
+        Only ``"served"`` workloads open; the stack (platform, hierarchy,
+        engine, energy accountant, applied timeline) is exactly the one
+        :meth:`run` would assemble, minus the workload — requests arrive
+        through :meth:`~repro.serve.state.ServeState.place_batch`.
+        ``repro.serve`` is imported lazily so batch experiments never
+        load the serving layer.
+        """
+        if not self._validated:
+            self.validate()
+        if self.workload.kind != "served":
+            raise LabError(
+                f"only 'served' workloads open as a service, not "
+                f"{self.workload.kind!r}; use WorkloadSource.served()"
+            )
+        from repro.serve.state import ServeState
+
+        return ServeState.assemble(
+            platform=self.platform,
+            policy=self.policy,
+            timeline=self._resolved_timeline,
+            energy_mode=self.energy_mode,
+            trace_level=self.trace_level,
+            base_temperature=self.base_temperature,
+            requeue_on_failure=self.requeue_on_failure,
+        )
+
+    def open_service(self, serve: "ServeSource | None" = None):
+        """Open the session as an (unstarted) placement daemon.
+
+        ``serve`` carries the admission quotas and socket parameters
+        (:class:`~repro.lab.components.ServeSource`); the returned
+        :class:`~repro.serve.service.PlacementService` still needs its
+        ``start()``/``run()`` awaited on an event loop.
+        """
+        from repro.serve.admission import AdmissionController
+        from repro.serve.service import PlacementService
+
+        serve = serve if serve is not None else ServeSource()
+        return PlacementService(
+            self.open_state(),
+            admission=AdmissionController(
+                quota_rate=serve.quota_rate,
+                quota_burst=serve.quota_burst,
+                queue_limit=serve.queue_limit,
+            ),
+            host=serve.host,
+            port=serve.port,
+            batch_window=serve.batch_window,
+        )
 
     # -- middleware backend -------------------------------------------------------------
     def _run_middleware(self) -> LabResult:

@@ -186,13 +186,15 @@ class MiddlewareSimulation:
                 label=f"arrival-{task.task_id}" if trace_on else "",
             )
 
-    def inject_task(self, task: Task) -> None:
+    def inject_task(self, task: Task) -> SchedulingOutcome:
         """Submit ``task`` immediately (at the engine's current time).
 
-        Used by closed-loop clients that decide on-the-fly how many requests
-        to keep in flight (the adaptive-provisioning experiment).
+        Used by closed-loop clients that decide on-the-fly how many
+        requests to keep in flight (the adaptive-provisioning experiment)
+        and by the live placement service (:mod:`repro.serve`), which
+        needs the returned outcome to answer its caller.
         """
-        self._handle_arrival(task)
+        return self._handle_arrival(task)
 
     # -- event handlers ----------------------------------------------------------------
     def _sample_power(self) -> None:
@@ -201,7 +203,7 @@ class MiddlewareSimulation:
         if self.wattmeter is not None:
             self.wattmeter.advance_to(self.engine.now)
 
-    def _handle_arrival(self, task: Task) -> None:
+    def _handle_arrival(self, task: Task) -> SchedulingOutcome:
         self._sample_power()
         now = self.engine.now
         self._submitted += 1
@@ -215,6 +217,7 @@ class MiddlewareSimulation:
             )
         outcome = self.client.submit(task, submitted_at=now)
         self._handle_outcome(task, outcome)
+        return outcome
 
     def _handle_outcome(self, task: Task, outcome: SchedulingOutcome) -> None:
         now = self.engine.now

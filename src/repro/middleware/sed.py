@@ -14,6 +14,22 @@ The default estimation function populates the standard tags of
 scheduler installs additional behaviour simply by reading the power tags —
 it does not need to replace the estimation function, but custom functions
 are supported because DIET supports them.
+
+Incremental estimation
+----------------------
+The default estimation function reads only node and queue state, never
+the request, so its vector stays valid until that state changes.  Each
+SeD therefore *caches* its vector and invalidates it from the three
+places the inputs can move — the node's power listeners (every core
+acquire/release, power-off, boot and crash/repair transition), the
+queue's mutation listeners, and :meth:`ServerDaemon.record_request_power`
+(the dynamic power estimate).  A request over a hierarchy of *n* SeDs
+re-computes only the vectors whose node changed since the last request —
+usually one — instead of reassembling all *n*; since a dirty vector is
+recomputed by exactly the same function at the same state, election
+results are bit-identical to the always-recompute path (the golden suite
+pins this).  Installing a *custom* estimation function disables the cache
+for that SeD, because custom functions may read the request.
 """
 
 from __future__ import annotations
@@ -27,6 +43,11 @@ from repro.simulation.queueing import NodeQueue
 from repro.util.stats import RunningStats
 
 EstimationFunction = Callable[["ServerDaemon", ServiceRequest], EstimationVector]
+
+#: Offering this pseudo-service makes a SeD solve *any* request — the
+#: open-world mode used by the live placement daemon (:mod:`repro.serve`),
+#: whose request stream is not known when the hierarchy is built.
+WILDCARD_SERVICE = "*"
 
 
 class ServerDaemon:
@@ -47,10 +68,17 @@ class ServerDaemon:
         self._services = frozenset(services)
         if not self._services:
             raise ValueError("a SeD must offer at least one service")
+        # The default estimation function never reads the request, so its
+        # vector can be cached until node/queue/power-history state moves.
+        self._cacheable = estimation_function is None
+        self._cached_vector: EstimationVector | None = None
         self._estimation_function = estimation_function or default_estimation_function
         #: Per-request energy/duration history feeding the dynamic power estimate.
         self._request_power = RunningStats()
         self._request_energy = RunningStats()
+        if self._cacheable:
+            node.add_power_listener(self._on_state_change)
+            self.queue.add_listener(self.invalidate_estimation)
 
     # -- identity ---------------------------------------------------------------
     @property
@@ -69,11 +97,27 @@ class ServerDaemon:
         return self._services
 
     def can_solve(self, service: str) -> bool:
-        """Whether this SeD offers ``service``."""
-        return service in self._services
+        """Whether this SeD offers ``service``.
+
+        A SeD offering :data:`WILDCARD_SERVICE` solves everything.
+        """
+        return service in self._services or WILDCARD_SERVICE in self._services
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ServerDaemon({self.name!r}, services={sorted(self._services)})"
+
+    # -- incremental estimation ---------------------------------------------------
+    def _on_state_change(self, node: Node) -> None:
+        self._cached_vector = None
+
+    def invalidate_estimation(self) -> None:
+        """Drop the cached estimation vector (next request recomputes it)."""
+        self._cached_vector = None
+
+    @property
+    def estimation_cached(self) -> bool:
+        """Whether the current estimation vector is served from the cache."""
+        return self._cached_vector is not None
 
     # -- dynamic power estimation -------------------------------------------------
     def record_request_power(self, mean_power: float, energy: float) -> None:
@@ -85,6 +129,7 @@ class ServerDaemon:
         """
         self._request_power.add(mean_power)
         self._request_energy.add(energy)
+        self._cached_vector = None
 
     @property
     def observed_request_count(self) -> int:
@@ -109,13 +154,28 @@ class ServerDaemon:
 
     # -- estimation ------------------------------------------------------------------
     def set_estimation_function(self, function: EstimationFunction) -> None:
-        """Install a custom estimation function (the DIET plug-in hook)."""
+        """Install a custom estimation function (the DIET plug-in hook).
+
+        Custom functions may read the request, so installing one disables
+        this SeD's estimation cache: every request recomputes.
+        """
         self._estimation_function = function
+        self._cacheable = False
+        self._cached_vector = None
 
     def estimate(self, request: ServiceRequest) -> EstimationVector:
-        """Produce the estimation vector for ``request``."""
+        """Produce the estimation vector for ``request``.
+
+        With the default estimation function the vector is cached and
+        only recomputed after a node transition, queue mutation or power
+        observation invalidated it (see module docstring).
+        """
+        if self._cached_vector is not None:
+            return self._cached_vector
         vector = self._estimation_function(self, request)
         vector.validate_required()
+        if self._cacheable:
+            self._cached_vector = vector
         return vector
 
 

@@ -144,4 +144,12 @@ def format_sweep_profile(outcome: SweepOutcome) -> str:
             # genuine engine throughput.
             summary += f", {total_events / events_wall:,.0f} events/s overall"
         lines.append(summary)
+        if total_events:
+            # The whole-sweep figure divides by *all* executed wall time
+            # (event-less scenarios included): the number a capacity plan
+            # would use for "how fast does this grid sweep end to end".
+            lines.append(
+                f"whole sweep: {total_events:,.0f} events in {total_wall:.3f} s "
+                f"wall = {total_events / total_wall:,.0f} events/s"
+            )
     return "\n".join(lines)

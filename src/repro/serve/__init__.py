@@ -1,0 +1,41 @@
+"""repro.serve — the long-lived placement service.
+
+The serving layer turns the reproduction's middleware stack into a
+daemon: :class:`ServeState` keeps one assembled platform + hierarchy
+resident and advances it on a virtual clock, :class:`PlacementService`
+exposes it over HTTP/JSON with per-tenant admission control and
+micro-batched scoring, and :func:`replay_trace` fires recorded traces at
+it in real or accelerated time.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.admission import (
+    ADMITTED,
+    REJECTED,
+    SHED,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.serve.protocol import ProtocolError, SubmitRequest, SubmitResponse
+from repro.serve.replay import ReplayReport, load_trace_tasks, replay_tasks, replay_trace
+from repro.serve.service import PlacementService
+from repro.serve.state import PlacementDecision, ServeState
+
+__all__ = [
+    "ADMITTED",
+    "REJECTED",
+    "SHED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "ProtocolError",
+    "SubmitRequest",
+    "SubmitResponse",
+    "ReplayReport",
+    "load_trace_tasks",
+    "replay_tasks",
+    "replay_trace",
+    "PlacementService",
+    "PlacementDecision",
+    "ServeState",
+]

@@ -10,10 +10,14 @@ queue and in flight divided by the node's processing capacity.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, Mapping
+from typing import Callable, Deque, Iterable, Mapping
 
 from repro.infrastructure.node import Node
 from repro.simulation.task import Task
+
+#: Callback invoked after any mutation that can move a queue's
+#: waiting-time estimate (enqueue, start, completion, crash drain).
+QueueListener = Callable[[], None]
 
 
 class NodeQueue:
@@ -23,25 +27,54 @@ class NodeQueue:
         self.node = node
         self._pending: Deque[Task] = deque()
         self._running_remaining_flop: dict[int, float] = {}
+        self._listeners: list[QueueListener] = []
+
+    # -- change notification ----------------------------------------------------
+    def add_listener(self, listener: QueueListener) -> None:
+        """Subscribe to queue mutations.
+
+        ``listener()`` fires after every mutation that can change
+        :meth:`waiting_time_estimate` — this is how the SeD's cached
+        estimation vector is invalidated incrementally instead of being
+        rebuilt on every request.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: QueueListener) -> None:
+        """Unsubscribe a previously added listener (ValueError if absent)."""
+        self._listeners.remove(listener)
+
+    def _changed(self) -> None:
+        for listener in self._listeners:
+            listener()
 
     # -- queue operations -------------------------------------------------------
     def enqueue(self, task: Task) -> None:
         """Append an assigned task to the waiting queue."""
         self._pending.append(task)
+        if self._listeners:
+            self._changed()
 
     def pop_next(self) -> Task | None:
         """Remove and return the oldest waiting task, or ``None`` if empty."""
         if not self._pending:
             return None
-        return self._pending.popleft()
+        task = self._pending.popleft()
+        if self._listeners:
+            self._changed()
+        return task
 
     def mark_running(self, task: Task) -> None:
         """Record that ``task`` has started executing on the node."""
         self._running_remaining_flop[task.task_id] = task.flop
+        if self._listeners:
+            self._changed()
 
     def mark_completed(self, task: Task) -> None:
         """Record that ``task`` has finished executing on the node."""
         self._running_remaining_flop.pop(task.task_id, None)
+        if self._listeners:
+            self._changed()
 
     def forget_running(self, task: Task) -> None:
         """Drop a running task's bookkeeping without completing it.
@@ -50,6 +83,8 @@ class NodeQueue:
         longer occupies the node either.
         """
         self._running_remaining_flop.pop(task.task_id, None)
+        if self._listeners:
+            self._changed()
 
     def drain_pending(self) -> tuple[Task, ...]:
         """Remove and return every waiting task (oldest first).
@@ -60,6 +95,8 @@ class NodeQueue:
         """
         drained = tuple(self._pending)
         self._pending.clear()
+        if self._listeners:
+            self._changed()
         return drained
 
     # -- introspection -------------------------------------------------------------

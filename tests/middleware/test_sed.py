@@ -126,3 +126,69 @@ class TestEstimation:
         sed.node.release_core(busy_seconds=1.0)
         vector = sed.estimate(make_request())
         assert vector.get(EstimationTags.COMPLETED_TASKS) == 1.0
+
+
+class TestWildcardService:
+    def test_wildcard_solves_everything(self):
+        from repro.middleware.sed import WILDCARD_SERVICE
+
+        node = Node(make_spec())
+        sed = ServerDaemon(node, services=(WILDCARD_SERVICE,))
+        assert sed.can_solve("cpu-burn")
+        assert sed.can_solve("never-seen-before")
+
+    def test_ordinary_sed_stays_closed_world(self):
+        assert not make_sed().can_solve("*never-offered*")
+
+
+class TestEstimationCache:
+    """The incremental-estimation refactor: cache + invalidation points."""
+
+    def test_default_function_caches_the_vector(self):
+        sed = make_sed()
+        first = sed.estimate(make_request())
+        assert sed.estimation_cached
+        assert sed.estimate(make_request()) is first
+
+    def test_node_transition_invalidates(self):
+        sed = make_sed(cores=2)
+        before = sed.estimate(make_request())
+        sed.node.acquire_core()
+        assert not sed.estimation_cached
+        after = sed.estimate(make_request())
+        assert after is not before
+        assert after.get(EstimationTags.FREE_CORES) == before.get(
+            EstimationTags.FREE_CORES
+        ) - 1.0
+
+    def test_queue_mutation_invalidates(self):
+        sed = make_sed()
+        sed.estimate(make_request())
+        sed.queue.enqueue(Task(flop=1e9))
+        assert not sed.estimation_cached
+
+    def test_power_history_invalidates(self):
+        sed = make_sed()
+        sed.estimate(make_request())
+        sed.record_request_power(100.0, 500.0)
+        assert not sed.estimation_cached
+        assert sed.estimate(make_request()).get(
+            EstimationTags.MEAN_POWER
+        ) == pytest.approx(100.0)
+
+    def test_recomputed_vector_is_identical(self):
+        # A dirty vector is recomputed by the same function at the same
+        # state, so elections see identical numbers either way.
+        sed = make_sed()
+        cached = sed.estimate(make_request())
+        sed.invalidate_estimation()
+        fresh = sed.estimate(make_request())
+        assert fresh is not cached
+        assert fresh.as_dict() == cached.as_dict()
+
+    def test_custom_function_disables_cache(self):
+        sed = make_sed()
+        sed.set_estimation_function(default_estimation_function)
+        first = sed.estimate(make_request())
+        assert not sed.estimation_cached
+        assert sed.estimate(make_request()) is not first

@@ -323,6 +323,26 @@ class TestProfiledRuns:
             assert result.spec.scenario_id in report
         assert "events/s" in report
 
+    def test_profile_format_reports_whole_sweep_throughput(self):
+        import re
+
+        from repro.runner.reporting import format_sweep_profile
+
+        outcome = run_sweep(TINY_GRID, profile=True)
+        report = format_sweep_profile(outcome)
+        match = re.search(
+            r"whole sweep: ([\d,]+) events in ([\d.]+) s wall = ([\d,]+) events/s",
+            report,
+        )
+        assert match is not None
+        events = float(match.group(1).replace(",", ""))
+        wall = float(match.group(2))
+        rate = float(match.group(3).replace(",", ""))
+        expected_events = sum(r.metrics.get("events", 0.0) for r in outcome.results)
+        assert events == round(expected_events)
+        assert wall == round(sum(outcome.wall_times), 3)
+        assert rate == round(events / sum(outcome.wall_times))
+
     def test_profile_format_requires_profiled_outcome(self):
         from repro.runner.reporting import format_sweep_profile
 

@@ -1,0 +1,143 @@
+"""Wire types and HTTP framing round-trips."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    SubmitRequest,
+    SubmitResponse,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestSubmitRequest:
+    def test_json_round_trip(self):
+        request = SubmitRequest(
+            tenant="alice", flop=2.5e9, time=12.0, client="c1",
+            service="q1", preference=-0.5,
+        )
+        assert SubmitRequest.from_json(request.to_json()) == request
+
+    def test_optional_fields_default(self):
+        request = SubmitRequest.from_json({"tenant": "t", "flop": 1e9})
+        assert request.time is None
+        assert request.client is None
+        assert request.service == "cpu-burn"
+        assert request.preference == 0.0
+
+    def test_to_task_carries_fields(self):
+        request = SubmitRequest(tenant="t", flop=3e9, service="q2", preference=0.25)
+        task = request.to_task(arrival_time=7.0)
+        assert task.flop == 3e9
+        assert task.arrival_time == 7.0
+        assert task.client == "t"  # falls back to the tenant
+        assert task.service == "q2"
+        assert task.user_preference == 0.25
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            {},
+            {"tenant": "t"},
+            {"tenant": "", "flop": 1e9},
+            {"tenant": "t", "flop": "many"},
+        ],
+    )
+    def test_malformed_bodies_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            SubmitRequest.from_json(payload)
+
+
+class TestSubmitResponse:
+    def test_json_round_trip(self):
+        response = SubmitResponse(
+            status="accepted", time=3.0, node="taurus-0", task_id=7
+        )
+        assert SubmitResponse.from_json(response.to_json()) == response
+
+    def test_rejection_round_trip(self):
+        response = SubmitResponse(
+            status="rejected", time=1.0, reason="tenant quota exhausted",
+            retry_after=4.5,
+        )
+        decoded = SubmitResponse.from_json(response.to_json())
+        assert decoded == response
+        assert not decoded.accepted
+
+    def test_missing_status_raises(self):
+        with pytest.raises(ProtocolError):
+            SubmitResponse.from_json({"time": 1.0})
+
+
+class TestHttpFraming:
+    def test_request_round_trip(self):
+        async def scenario():
+            payload = {"tenant": "t", "flop": 1e9, "time": 2.0}
+            reader = _reader_with(render_request("POST", "/submit", payload))
+            request = await read_request(reader)
+            assert request.method == "POST"
+            assert request.path == "/submit"
+            assert request.json() == payload
+            assert await read_request(reader) is None  # clean EOF
+
+        asyncio.run(scenario())
+
+    def test_response_round_trip(self):
+        async def scenario():
+            body = {"status": "accepted", "node": "orion-0"}
+            reader = _reader_with(render_response(200, body))
+            status, decoded = await read_response(reader)
+            assert status == 200
+            assert decoded == body
+
+        asyncio.run(scenario())
+
+    def test_bodyless_request(self):
+        async def scenario():
+            reader = _reader_with(render_request("GET", "/healthz"))
+            request = await read_request(reader)
+            assert request.method == "GET"
+            assert request.body == b""
+
+        asyncio.run(scenario())
+
+    def test_pipelined_requests_parse_in_order(self):
+        async def scenario():
+            data = render_request("POST", "/submit", {"tenant": "a", "flop": 1.0})
+            data += render_request("POST", "/submit", {"tenant": "b", "flop": 2.0})
+            reader = _reader_with(data)
+            first = await read_request(reader)
+            second = await read_request(reader)
+            assert first.json()["tenant"] == "a"
+            assert second.json()["tenant"] == "b"
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"BROKEN\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n",
+        ],
+    )
+    def test_malformed_framing_raises(self, raw):
+        async def scenario():
+            with pytest.raises(ProtocolError):
+                await read_request(_reader_with(raw))
+
+        asyncio.run(scenario())

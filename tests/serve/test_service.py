@@ -1,0 +1,266 @@
+"""PlacementService: HTTP round trips, admission over the wire, shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.lab import (
+    LabSession,
+    PlatformSource,
+    PolicySource,
+    ServeSource,
+    WorkloadSource,
+)
+from repro.serve import (
+    AdmissionController,
+    PlacementService,
+    ServeState,
+    replay_trace,
+)
+from repro.serve.protocol import read_response, render_request
+from repro.simulation.trace import ExecutionTrace
+
+MINI_SWF = "tests/data/mini.swf"
+
+
+def make_service(**admission_kwargs) -> PlacementService:
+    return PlacementService(
+        ServeState.assemble(platform=PlatformSource.table1(1)),
+        admission=AdmissionController(**admission_kwargs),
+    )
+
+
+async def request(port: int, method: str, path: str, payload=None):
+    """One request over a fresh connection; returns (status, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(render_request(method, path, payload))
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+def submit_payload(tenant="t", flop=1e9, time=None, **extra):
+    payload = {"tenant": tenant, "flop": flop, **extra}
+    if time is not None:
+        payload["time"] = time
+    return payload
+
+
+class TestRoundTrip:
+    def test_submit_returns_a_placement(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, body = await request(
+                    service.port, "POST", "/submit", submit_payload(time=0.0)
+                )
+                assert status == 200
+                assert body["status"] == "accepted"
+                assert body["node"] in ("orion-0", "taurus-0", "sagittaire-0")
+                assert body["task_id"] >= 0
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_replay_matches_closed_loop_lab_run(self):
+        """The acceptance criterion: daemon + replay == batch simulation."""
+        session = LabSession(
+            platform=PlatformSource.table1(1),
+            workload=WorkloadSource.from_trace(MINI_SWF),
+            policy=PolicySource("GREENPERF"),
+        )
+        closed = [
+            event.details["node"]
+            for event in session.run().simulation.trace.of_kind(
+                ExecutionTrace.TASK_SCHEDULED
+            )
+        ]
+
+        async def scenario():
+            served_session = LabSession(
+                platform=PlatformSource.table1(1),
+                workload=WorkloadSource.served(),
+                policy=PolicySource("GREENPERF"),
+            )
+            service = served_session.open_service(ServeSource())
+            await service.start()
+            report = await replay_trace(
+                MINI_SWF, port=service.port, window=8, shutdown=True
+            )
+            await service.serve_until_shutdown()
+            return report
+
+        report = asyncio.run(scenario())
+        assert list(report.nodes) == closed
+        assert report.accepted == len(closed)
+
+    def test_healthz_and_stats(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, body = await request(service.port, "GET", "/healthz")
+                assert (status, body) == (200, {"status": "ok"})
+                await request(
+                    service.port, "POST", "/submit", submit_payload(time=1.0)
+                )
+                status, stats = await request(service.port, "GET", "/stats")
+                assert status == 200
+                assert stats["admission"]["admitted"] == 1
+                assert stats["state"]["decisions"] == 1
+                assert stats["batches"]["count"] >= 1
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_malformed_and_unknown_requests(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, body = await request(
+                    service.port, "POST", "/submit", {"flop": 1e9}
+                )
+                assert status == 400
+                assert "tenant" in body["error"]
+                status, _ = await request(service.port, "GET", "/nowhere")
+                assert status == 404
+                status, _ = await request(service.port, "GET", "/submit")
+                assert status == 405
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionOverHttp:
+    def test_quota_exhaustion_returns_429_and_recovers_after_refill(self):
+        async def scenario():
+            service = make_service(quota_rate=1.0, quota_burst=2.0)
+            await service.start()
+            try:
+                for _ in range(2):
+                    status, body = await request(
+                        service.port, "POST", "/submit", submit_payload(time=0.0)
+                    )
+                    assert (status, body["status"]) == (200, "accepted")
+                status, body = await request(
+                    service.port, "POST", "/submit", submit_payload(time=0.0)
+                )
+                assert status == 429
+                assert body["status"] == "rejected"
+                assert body["retry_after"] == pytest.approx(1.0)
+                # one virtual second later a token has refilled
+                status, body = await request(
+                    service.port, "POST", "/submit", submit_payload(time=1.0)
+                )
+                assert (status, body["status"]) == (200, "accepted")
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_queue_overflow_sheds_with_503(self):
+        async def scenario():
+            service = PlacementService(
+                ServeState.assemble(platform=PlatformSource.table1(1)),
+                admission=AdmissionController(queue_limit=2),
+                batch_window=0.2,  # hold the batch so the backlog must grow
+            )
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                try:
+                    for index in range(5):
+                        writer.write(
+                            render_request(
+                                "POST", "/submit", submit_payload(time=float(index))
+                            )
+                        )
+                    await writer.drain()
+                    statuses = []
+                    for _ in range(5):
+                        status, body = await read_response(reader)
+                        statuses.append((status, body["status"]))
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                # 2 admitted fill the backlog; the rest shed 503 in order
+                assert statuses == [
+                    (200, "accepted"),
+                    (200, "accepted"),
+                    (503, "shed"),
+                    (503, "shed"),
+                    (503, "shed"),
+                ]
+                assert service.admission.totals()["shed"] == 3
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_daemon(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            waiter = asyncio.create_task(service.serve_until_shutdown())
+            status, body = await request(service.port, "POST", "/shutdown")
+            assert (status, body["status"]) == (200, "ok")
+            await asyncio.wait_for(waiter, timeout=5.0)
+            # the socket is gone
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", service.port)
+
+        asyncio.run(scenario())
+
+    def test_submissions_during_shutdown_are_shed(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            service.request_shutdown()
+            status, body = await request(
+                service.port, "POST", "/submit", submit_payload(time=0.0)
+            )
+            assert status == 503
+            assert body["reason"] == "service shutting down"
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_pending_submissions_are_answered_on_stop(self):
+        async def scenario():
+            service = PlacementService(
+                ServeState.assemble(platform=PlatformSource.table1(1)),
+                batch_window=30.0,  # far longer than the test: stop() must flush
+            )
+            await service.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                writer.write(
+                    render_request("POST", "/submit", submit_payload(time=0.0))
+                )
+                await writer.drain()
+                await asyncio.sleep(0.05)  # let the daemon park the submission
+                stop = asyncio.create_task(service.stop())
+                status, body = await read_response(reader)
+                assert (status, body["status"]) == (200, "accepted")
+                assert body["node"] is not None
+                await stop
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:
+                    pass
+
+        asyncio.run(scenario())

@@ -272,3 +272,76 @@ class TestLabRun:
         assert expected in err
         assert "valid overrides" in err
         assert "Traceback" not in err
+
+
+class TestServeReplayCommands:
+    def test_serve_and_replay_flags_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--platform", "quick", "--policy", "POWER",
+             "--port", "0", "--quota-rate", "2.5", "--queue-limit", "16"]
+        )
+        assert args.command == "serve"
+        assert args.quota_rate == 2.5
+        assert args.queue_limit == 16
+        args = parser.parse_args(
+            ["replay", "trace.swf", "--port", "9999", "--speed", "60",
+             "--window", "4", "--repeat", "2", "--limit", "50", "--shutdown"]
+        )
+        assert args.command == "replay"
+        assert args.speed == 60.0
+        assert args.shutdown
+
+    def test_serve_rejects_unknown_platform_preset(self, capsys):
+        assert main(["serve", "--platform", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform preset" in err
+        assert "Traceback" not in err
+
+    def test_replay_without_daemon_reports_cleanly(self, capsys):
+        import socket
+
+        with socket.socket() as probe:  # a port nothing listens on
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        argv = ["replay", str(DATA / "mini.swf"), "--port", str(port)]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "no daemon listening" in err
+        assert "repro serve" in err
+
+    def test_serve_then_replay_round_trip(self, capsys):
+        import socket
+        import threading
+        import time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        exit_codes = {}
+        daemon = threading.Thread(
+            target=lambda: exit_codes.update(
+                serve=main(["serve", "--platform", "quick", "--port", str(port)])
+            )
+        )
+        daemon.start()
+        try:
+            argv = [
+                "replay", str(DATA / "mini.swf"),
+                "--port", str(port), "--limit", "10", "--shutdown",
+            ]
+            deadline = time.monotonic() + 30.0
+            while True:  # retry until the daemon's socket is up
+                exit_codes["replay"] = main(argv)
+                if exit_codes["replay"] == 0 or time.monotonic() > deadline:
+                    break
+                capsys.readouterr()  # drop the connection-refused report
+                time.sleep(0.05)
+        finally:
+            daemon.join(timeout=30.0)
+        assert not daemon.is_alive()
+        assert exit_codes == {"serve": 0, "replay": 0}
+        out = capsys.readouterr().out
+        assert "listening on" in out
+        assert "shut down cleanly" in out
+        assert "accepted" in out and "10" in out

@@ -21,10 +21,17 @@ high-water marks.  Results are written to ``BENCH_kernel.json`` (override
 with ``--out``); ``--quick`` shrinks the scenario for CI smoke runs
 (12 nodes × 1,000 tasks × 1 day).
 
+A separate ``--serve`` mode benchmarks the serving layer instead: a
+:class:`~repro.serve.service.PlacementService` on an ephemeral port,
+hammered by the replay client at pipelining windows 1, 8 and 64, and
+reports sustained requests/sec per window (written to
+``BENCH_serve.json``).
+
 Usage::
 
     PYTHONPATH=src python tools/bench_kernel.py            # full scenario
     PYTHONPATH=src python tools/bench_kernel.py --quick    # CI smoke run
+    PYTHONPATH=src python tools/bench_kernel.py --serve    # daemon throughput
 """
 
 from __future__ import annotations
@@ -219,6 +226,67 @@ def run_combined(scenario: dict) -> dict:
     }
 
 
+#: Pipelining windows the serve benchmark sweeps (in-flight requests per
+#: connection — the daemon's micro-batches grow with the window).
+SERVE_WINDOWS = (1, 8, 64)
+
+FULL_SERVE_TASKS = 5_000
+QUICK_SERVE_TASKS = 500
+
+
+def run_serve(scenario: dict) -> dict:
+    """Daemon throughput: requests/sec at each pipelining window.
+
+    A fresh service per window (so earlier windows cannot warm queues
+    for later ones), one replay connection, no admission limits — the
+    measured figure is the placement + protocol path itself.
+    """
+    import asyncio
+
+    from repro.serve.replay import replay_tasks
+    from repro.serve.service import PlacementService
+    from repro.serve.state import ServeState
+
+    task_count = scenario["serve_tasks"]
+    windows = {}
+    for window in SERVE_WINDOWS:
+
+        async def measure(window: int = window) -> dict:
+            service = PlacementService(ServeState.assemble())
+            await service.start()
+            try:
+                report = await replay_tasks(
+                    build_tasks(task_count, float(task_count)),
+                    host=service.host,
+                    port=service.port,
+                    window=window,
+                    tenant="bench",
+                )
+                stats = service.stats()
+            finally:
+                await service.stop()
+            return {
+                "requests": report.sent,
+                "accepted": report.accepted,
+                "wall_s": round(report.wall_seconds, 3),
+                "requests_per_s": round(report.requests_per_second),
+                "micro_batches": stats["batches"]["count"],
+                "largest_batch": stats["batches"]["largest"],
+            }
+
+        windows[str(window)] = asyncio.run(measure())
+    return {
+        "scenario": {
+            "tasks_per_window": task_count,
+            "platform": "table1(1)",
+            "policy": "GREENPERF",
+            "task_flop": TASK_FLOP,
+            "quick": scenario["quick"],
+        },
+        "windows": windows,
+    }
+
+
 def run_mode_in_subprocess(mode: str, quick: bool) -> dict:
     """Isolate one mode in a child process for a clean peak-RSS reading."""
     env = dict(os.environ)
@@ -278,7 +346,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-scale scenario")
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_kernel.json"), help="output JSON path"
+        "--serve",
+        action="store_true",
+        help="benchmark the placement daemon (requests/sec per pipelining window)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_kernel.json, or "
+        "BENCH_serve.json with --serve)",
     )
     parser.add_argument(
         "--modes",
@@ -297,6 +373,23 @@ def main(argv=None) -> int:
     scenario["sample_period_s"] = 1.0
     scenario["policy"] = "POWER"
     scenario["quick"] = args.quick
+    scenario["serve_tasks"] = QUICK_SERVE_TASKS if args.quick else FULL_SERVE_TASKS
+
+    if args.serve:
+        if sys.path[0] != str(SRC):
+            sys.path.insert(0, str(SRC))
+        report = run_serve(scenario)
+        for window, stats in report["windows"].items():
+            print(
+                f"  window {window:>3}   wall {stats['wall_s']:>7.3f} s   "
+                f"{stats['requests_per_s']:>8,} requests/s   "
+                f"{stats['micro_batches']} micro-batches "
+                f"(largest {stats['largest_batch']})"
+            )
+        out_path = Path(args.out or REPO_ROOT / "BENCH_serve.json")
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+        return 0
 
     if args.run_mode:
         if sys.path[0] != str(SRC):
@@ -332,7 +425,7 @@ def main(argv=None) -> int:
         )
 
     report = summarise(scenario, by_mode)
-    out_path = Path(args.out)
+    out_path = Path(args.out or REPO_ROOT / "BENCH_kernel.json")
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
     return 0
