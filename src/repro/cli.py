@@ -273,7 +273,12 @@ def _cmd_lab_run(args: argparse.Namespace) -> str:
 
     policy = args.policy
     if policy is None:
-        policy = "GREENPERF" if args.family == "adaptive" else "POWER"
+        if args.family == "adaptive":
+            policy = "GREENPERF"
+        elif args.family == "queue":
+            policy = "FCFS"
+        else:
+            policy = "POWER"
     spec = ScenarioSpec(
         experiment=args.family,
         platform=args.platform,
@@ -711,10 +716,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lab_run.add_argument(
         "--family",
-        choices=("placement", "heterogeneity", "adaptive"),
+        choices=("placement", "heterogeneity", "adaptive", "queue"),
         default="placement",
         help="experiment family providing presets and post-processing "
-        "(default: placement; adaptive adds the provisioning planner)",
+        "(default: placement; adaptive adds the provisioning planner; "
+        "queue batch-schedules with FCFS/EASY/CONSERVATIVE/DRF — cap "
+        "capacity with --set queue_cores=N)",
     )
     lab_run.add_argument(
         "--platform",

@@ -225,17 +225,32 @@ def policy_by_name(name: str, **kwargs) -> PluginScheduler:
 
     ``kwargs`` are forwarded to the policy constructor — e.g.
     ``policy_by_name("random", seed=3)``.
+
+    Queue-family names (``FCFS``, ``EASY``, ``CONSERVATIVE``, ``DRF`` —
+    see :mod:`repro.policy.queue`) resolve to their per-request
+    placement adapter,
+    :class:`~repro.middleware.queue_adapter.QueuePlacementAdapter`;
+    their batch semantics (backfill, reservations, fair share) run on
+    the queue backend of :class:`~repro.lab.session.LabSession`.  The
+    import is lazy so the core package stays cycle-free.
     """
     key = name.strip().upper()
-    try:
-        factory = _POLICIES[key]
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; available: {sorted(_POLICIES)}"
-        ) from None
-    return factory(**kwargs)
+    factory = _POLICIES.get(key)
+    if factory is not None:
+        return factory(**kwargs)
+    from repro.policy.queue.policies import QUEUE_POLICY_NAMES
+
+    if key in QUEUE_POLICY_NAMES:
+        from repro.middleware.queue_adapter import QueuePlacementAdapter
+
+        return QueuePlacementAdapter(key, **kwargs)
+    raise ValueError(
+        f"unknown policy {name!r}; available: {sorted(available_policies())}"
+    )
 
 
 def available_policies() -> tuple[str, ...]:
-    """Names of all registered policies."""
-    return tuple(sorted(_POLICIES))
+    """Names of all registered policies (plug-in and queue families)."""
+    from repro.policy.queue.policies import QUEUE_POLICY_NAMES
+
+    return tuple(sorted(set(_POLICIES) | set(QUEUE_POLICY_NAMES)))

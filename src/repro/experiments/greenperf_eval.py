@@ -212,7 +212,11 @@ def heterogeneity_session(
         platform=PlatformSource.server_types(kinds, servers_per_type=servers_per_type),
         workload=workload,
         policy=PolicySource(
-            policy_name, seed=seed if policy_name.upper() == "RANDOM" else None
+            policy_name,
+            seed=seed if policy_name.upper() == "RANDOM" else None,
+            # Per-request semantics on the point study: queue-family names
+            # run as their placement adapter, never the batch backend.
+            family="plugin",
         ),
         timeline=timeline,
     )

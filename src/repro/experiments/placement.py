@@ -51,11 +51,15 @@ def placement_session(
     config = config or PlacementExperimentConfig()
     if policy.strip().upper() == "RANDOM" and "seed" not in policy_kwargs:
         policy_kwargs["seed"] = config.random_seed
+    # ``family="plugin"`` pins per-request placement semantics: queue-family
+    # names (EASY, …) run as their QueuePlacementAdapter on the middleware
+    # stack here; their batch semantics live in experiments.queue_family.
     policy_source = PolicySource(
         policy,
         seed=policy_kwargs.pop("seed", None),
         preference=policy_kwargs.pop("default_preference", None),
         options=tuple(policy_kwargs.items()),
+        family="plugin",
     )
     return LabSession(
         platform=PlatformSource.table1(config.nodes_per_cluster),

@@ -8,7 +8,8 @@ Two surfaces meet here:
   and :func:`execute_spec` is the sweep executor's unit of work;
 * the **family-specific** one — the experiment modules
   (:mod:`repro.experiments.placement`, :mod:`~repro.experiments.adaptive`,
-  :mod:`~repro.experiments.greenperf_eval`) each expose a
+  :mod:`~repro.experiments.greenperf_eval`,
+  :mod:`~repro.experiments.queue_family`) each expose a
   ``*_session(...)`` builder; this module dispatches to them so that the
   historical preset vocabulary keeps resolving exactly as before.
 
@@ -130,10 +131,37 @@ def _adaptive_session(spec: ScenarioSpec) -> LabSession:
     return adaptive_session(config, trace_level="off")
 
 
+def _queue_session(spec: ScenarioSpec) -> LabSession:
+    from repro.experiments.presets import placement_config_for
+    from repro.experiments.queue_family import queue_session
+
+    # Queue policies are deterministic and preference-free; a seed or
+    # preference axis would sweep identical schedules under new labels.
+    reject_unused(spec, preference=0.0, seed=0)
+    overrides = dict(spec.overrides)
+    queue_cores = overrides.pop("queue_cores", None)
+    if queue_cores is not None:
+        queue_cores = int(queue_cores)
+    config = placement_config_for(
+        platform=spec.platform,
+        workload=spec.workload,
+        trace=spec.trace,
+        overrides=overrides,
+    )
+    return queue_session(
+        spec.policy,
+        config,
+        timeline=spec.timeline,
+        horizon=spec.horizon,
+        queue_cores=queue_cores,
+    )
+
+
 _FAMILY_SESSIONS = {
     "placement": _placement_session,
     "heterogeneity": _heterogeneity_session,
     "adaptive": _adaptive_session,
+    "queue": _queue_session,
 }
 
 

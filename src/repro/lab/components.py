@@ -43,6 +43,7 @@ from repro.infrastructure.platform import (
     taurus_spec,
 )
 from repro.middleware.plugin_scheduler import PluginScheduler
+from repro.policy.queue.policies import QUEUE_POLICY_NAMES
 from repro.scenario.events import EventTimeline
 from repro.simulation.task import Task
 from repro.util.validation import ensure_positive
@@ -265,21 +266,34 @@ class WorkloadSource:
 
 @dataclass(frozen=True)
 class PolicySource:
-    """The plug-in scheduler under test.
+    """The scheduling policy under test.
 
     ``seed`` is forwarded to stochastic policies (RANDOM) and
     ``preference`` to the GREEN_SCORE default user preference; leave them
     ``None`` for policies that do not take them.  ``options`` carries any
     further constructor keywords.
 
+    ``family`` selects how the policy executes: ``"plugin"`` runs it as
+    a per-request plug-in scheduler (the GreenPerf family, or the
+    placement adapter of a queue policy), ``"queue"`` runs it on the
+    batch queue backend of :class:`~repro.lab.session.LabSession`
+    (backfill, reservations, fair share — :mod:`repro.policy.queue`).
+    The default ``"auto"`` resolves by name: queue-family names get the
+    queue backend, everything else the plug-in path.
+
     >>> PolicySource("power").build().name
     'POWER'
+    >>> PolicySource("easy").resolved_family
+    'queue'
+    >>> PolicySource("easy", family="plugin").resolved_family
+    'plugin'
     """
 
     name: str = "POWER"
     seed: int | None = None
     preference: float | None = None
     options: tuple[tuple[str, object], ...] = ()
+    family: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
@@ -287,9 +301,33 @@ class PolicySource:
         object.__setattr__(self, "name", self.name.strip().upper())
         if not isinstance(self.options, tuple):
             object.__setattr__(self, "options", tuple(dict(self.options).items()))
+        if self.family not in ("auto", "plugin", "queue"):
+            raise LabError(
+                f"policy family must be 'auto', 'plugin' or 'queue', "
+                f"got {self.family!r}"
+            )
+        if self.family == "queue" and self.name not in QUEUE_POLICY_NAMES:
+            raise LabError(
+                f"{self.name} is not a queue-family policy; "
+                f"queue names are {QUEUE_POLICY_NAMES}"
+            )
+
+    @property
+    def resolved_family(self) -> str:
+        """``"queue"`` or ``"plugin"`` after resolving ``"auto"`` by name."""
+        if self.family != "auto":
+            return self.family
+        return "queue" if self.name in QUEUE_POLICY_NAMES else "plugin"
 
     def build(self) -> PluginScheduler:
-        """Instantiate the policy."""
+        """Instantiate the per-request plug-in form of the policy.
+
+        Queue-family names resolve to their placement adapter
+        (:class:`~repro.middleware.queue_adapter.QueuePlacementAdapter`);
+        the queue backend builds the batch form with
+        :func:`~repro.policy.queue.policies.queue_policy_by_name`
+        instead of calling this.
+        """
         kwargs: dict[str, object] = dict(self.options)
         if self.seed is not None:
             kwargs["seed"] = self.seed

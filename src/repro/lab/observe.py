@@ -25,6 +25,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.middleware.driver import SimulationResult
+from repro.policy.queue.simulator import QueueSchedule
 from repro.scenario.events import EventTimeline
 
 
@@ -116,13 +117,15 @@ class PointSummary:
 class LabResult:
     """Everything one lab run produced, in a family-independent shape."""
 
-    backend: str  #: ``"middleware"`` or ``"point"``
+    backend: str  #: ``"middleware"``, ``"point"`` or ``"queue"``
     metrics: Mapping[str, float]
     detail: Mapping[str, object] = field(default_factory=dict)
     #: Full driver result (middleware backend only).
     simulation: SimulationResult | None = None
     #: Figure 6/7 coordinates (point backend only).
     point: PointSummary | None = None
+    #: Full batch schedule (queue backend only).
+    queue: QueueSchedule | None = None
     #: The resolved timeline the run was driven by, if any.
     timeline: EventTimeline | None = None
     #: Provisioning trajectory (sessions with a provisioning source).
@@ -207,6 +210,68 @@ def provisioned_metrics(
         "events": float(events_processed),
         "failed_tasks": float(failed_tasks),
         "rejected_tasks": float(rejected_tasks),
+    }
+
+
+def queue_energy(
+    schedule: QueueSchedule,
+    *,
+    idle_power_per_core: float,
+    busy_power_delta_per_core: float,
+    span: float,
+) -> float:
+    """Coarse platform energy of a queue-backend run (J).
+
+    Alive capacity draws idle power for the whole observation span
+    (failed cores draw nothing — the capacity step function already
+    excludes them) and every busy core-second adds the average
+    peak-minus-idle delta.  This is deliberately coarser than the
+    middleware backend's per-node wattmeter model: the queue family
+    compares *ordering and packing* decisions on one aggregated
+    capacity, so per-node power attribution does not exist.
+
+    >>> schedule = QueueSchedule(
+    ...     policy_name="FCFS", capacity=4, records=(), slices=(),
+    ...     capacity_steps=((0.0, 4),), busy_core_seconds=10.0,
+    ...     makespan=5.0, horizon=None)
+    >>> queue_energy(schedule, idle_power_per_core=2.0,
+    ...              busy_power_delta_per_core=3.0, span=5.0)
+    70.0
+    """
+    idle_core_seconds = 0.0
+    steps = schedule.capacity_steps
+    for index, (time, cores) in enumerate(steps):
+        end = steps[index + 1][0] if index + 1 < len(steps) else span
+        end = min(end, span)
+        if end > time:
+            idle_core_seconds += cores * (end - time)
+    return (
+        idle_power_per_core * idle_core_seconds
+        + busy_power_delta_per_core * schedule.busy_core_seconds
+    )
+
+
+def queue_metrics(schedule: QueueSchedule, *, total_energy: float) -> dict[str, float]:
+    """The flat metric summary of a queue-backend run.
+
+    ``task_count`` counts completed jobs so ``greenperf`` (energy per
+    completed job) is comparable across the policy families; the
+    outcome partition (submitted = completed + failed + queued +
+    running) is carried in full so conservation is visible in every
+    sweep row.
+    """
+    counts = schedule.counts
+    completed = float(counts["completed"])
+    return {
+        "makespan": schedule.makespan,
+        "total_energy": total_energy,
+        "task_count": completed,
+        "mean_wait": schedule.mean_wait,
+        "greenperf": greenperf_metric(total_energy, completed),
+        "submitted": float(counts["submitted"]),
+        "failed_tasks": float(counts["failed"]),
+        "queued_tasks": float(counts["queued"]),
+        "running_tasks": float(counts["running"]),
     }
 
 

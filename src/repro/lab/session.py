@@ -8,7 +8,7 @@ once; :meth:`LabSession.run` assembles hierarchy, driver and scenario
 application in one place and returns a uniform
 :class:`~repro.lab.observe.LabResult`.
 
-Two execution backends cover the paper's evaluation:
+Three execution backends cover the evaluation:
 
 * the **middleware backend** (``"table1"`` platforms) drives the full
   DIET stack — agent hierarchy, plug-in scheduler, discrete-event engine,
@@ -20,7 +20,12 @@ Two execution backends cover the paper's evaluation:
   heterogeneity study's engine-less closed loop over single-task
   servers, now also accepting trace workloads (open-loop replay) and
   timelines (node failures become server-unavailability windows; other
-  event kinds are inert because the study has no planner).
+  event kinds are inert because the study has no planner);
+* the **queue backend** (queue-family policies — FCFS, EASY,
+  CONSERVATIVE, DRF of :mod:`repro.policy.queue`) batch-schedules an
+  open-loop workload on the platform's aggregated capacity: backfill
+  reservations, multi-tenant fair share, and requeue-or-fail fault
+  semantics under ``NodeFailure``/``NodeRecovery`` timeline events.
 
 Any workload × any policy × provisioning × any timeline composes here,
 so e.g. a real SWF week can replay through adaptive provisioning under a
@@ -54,6 +59,8 @@ from repro.lab.observe import (
     middleware_metrics,
     point_metrics,
     provisioned_metrics,
+    queue_energy,
+    queue_metrics,
     series_value_at,
     windowed_power,
 )
@@ -94,6 +101,10 @@ class LabSession:
     sample_period: float = 1.0
     base_temperature: float = 21.0
     requeue_on_failure: bool = True
+    #: Queue backend only: cap the scheduled capacity below the
+    #: platform's core count (e.g. replay a trace at its native
+    #: ``MaxProcs`` so queues actually form).  ``None`` uses every core.
+    queue_cores: int | None = None
 
     def __post_init__(self) -> None:
         self._resolved_timeline: EventTimeline | None = None
@@ -102,8 +113,19 @@ class LabSession:
     # -- validation ---------------------------------------------------------------------
     @property
     def backend(self) -> str:
-        """Which execution backend the platform selects."""
-        return "point" if self.platform.kind == "server-types" else "middleware"
+        """Which execution backend the platform + policy select.
+
+        ``"server-types"`` platforms run the point study; queue-family
+        policies (:mod:`repro.policy.queue`) run the batch queue backend
+        — except under a ``"served"`` workload, where arrivals are live
+        and the policy runs as its per-request placement adapter on the
+        middleware stack.
+        """
+        if self.platform.kind == "server-types":
+            return "point"
+        if self.policy.resolved_family == "queue" and self.workload.kind != "served":
+            return "queue"
+        return "middleware"
 
     def validate(self) -> "LabSession":
         """Check the component combination once; raises :class:`LabError`.
@@ -123,7 +145,18 @@ class LabSession:
             ensure_positive(self.horizon, "horizon")
         self._resolved_timeline = resolve_timeline(self.timeline)
 
+        if self.queue_cores is not None and self.backend != "queue":
+            raise LabError(
+                "queue_cores caps the batch queue backend's capacity; it has "
+                f"no meaning on the {self.backend!r} backend"
+            )
         if self.backend == "point":
+            if self.policy.resolved_family == "queue":
+                raise LabError(
+                    "queue policies run their batch semantics on table1 "
+                    "platforms; on server-types, force the placement "
+                    "adapter with PolicySource(..., family='plugin')"
+                )
             if self.provisioning is not None:
                 raise LabError(
                     "the single-task point study has no provisioning axis; "
@@ -138,6 +171,27 @@ class LabSession:
                 raise LabError(
                     "the point study runs to workload completion; drop horizon"
                 )
+        elif self.backend == "queue":
+            if not self.workload.open_loop:
+                raise LabError(
+                    "the queue backend schedules a pre-computed job stream: "
+                    "use a generator or trace workload, not "
+                    f"{self.workload.kind!r} (or force the per-request "
+                    "adapter with PolicySource(..., family='plugin'))"
+                )
+            if self.provisioning is not None:
+                raise LabError(
+                    "the queue backend has no provisioning axis: capacity "
+                    "changes come from NodeFailure/NodeRecovery timeline "
+                    "events"
+                )
+            if self.policy.seed is not None or self.policy.preference is not None:
+                raise LabError(
+                    "queue policies are deterministic and preference-free; "
+                    "drop seed/preference from the PolicySource"
+                )
+            if self.queue_cores is not None and self.queue_cores < 1:
+                raise LabError(f"queue_cores must be >= 1, got {self.queue_cores}")
         else:
             if self.workload.kind == "point-load":
                 raise LabError(
@@ -182,6 +236,8 @@ class LabSession:
             )
         if self.backend == "point":
             return self._run_point_study()
+        if self.backend == "queue":
+            return self._run_queue()
         return self._run_middleware()
 
     # -- serving backend ----------------------------------------------------------------
@@ -379,6 +435,79 @@ class LabSession:
                 )
 
         simulation.engine.schedule(0.0, _client_tick, label="client-tick")
+
+    # -- queue backend ------------------------------------------------------------------
+    def _run_queue(self) -> LabResult:
+        """Batch scheduling of an open-loop workload by a queue policy.
+
+        The platform aggregates into one capacity (optionally capped by
+        ``queue_cores``); tasks become :class:`~repro.policy.queue.jobs.QueueJob`
+        records by inverting the flop model at the SWF mapping's
+        reference core speed, so trace-derived jobs recover their real
+        runtimes and requested wall limits.  ``NodeFailure`` /
+        ``NodeRecovery`` timeline events become capacity drops/returns
+        sized by the named node's cores; the simulator replans each
+        pass, so a crash invalidates reservations and displaced jobs
+        follow the same requeue-or-fail rule as the middleware driver.
+        ``repro.policy.queue`` is imported lazily, mirroring how the
+        serving layer stays out of batch runs.
+        """
+        from repro.policy.queue.jobs import jobs_from_tasks
+        from repro.policy.queue.policies import queue_policy_by_name
+        from repro.policy.queue.simulator import run_queue_simulation
+        from repro.workload.ingest.mapping import DEFAULT_FLOPS_PER_CORE
+
+        timeline = self._resolved_timeline
+        platform = self.platform.build_platform()
+        capacity = (
+            self.queue_cores if self.queue_cores is not None else platform.total_cores
+        )
+        tasks = self.workload.resolve_tasks(capacity)
+        jobs = jobs_from_tasks(tasks, flops_per_core=DEFAULT_FLOPS_PER_CORE)
+        capacity_events: list[tuple[float, int]] = []
+        if timeline is not None:
+            for event in timeline.node_events:
+                cores = platform.node(event.node).spec.cores
+                if isinstance(event, NodeFailure):
+                    capacity_events.append((event.time, -cores))
+                elif isinstance(event, NodeRecovery):
+                    capacity_events.append((event.time, cores))
+        schedule = run_queue_simulation(
+            jobs,
+            capacity=capacity,
+            policy=queue_policy_by_name(self.policy.name),
+            capacity_events=capacity_events,
+            horizon=self.horizon,
+            requeue_limit=1 if self.requeue_on_failure else 0,
+        )
+        total_cores = platform.total_cores
+        idle_per_core = (
+            sum(node.spec.idle_power for node in platform.nodes) / total_cores
+        )
+        peak_per_core = (
+            sum(node.spec.peak_power for node in platform.nodes) / total_cores
+        )
+        span = self.horizon if self.horizon is not None else schedule.makespan
+        total_energy = queue_energy(
+            schedule,
+            idle_power_per_core=idle_per_core,
+            busy_power_delta_per_core=peak_per_core - idle_per_core,
+            span=span,
+        )
+        return LabResult(
+            backend="queue",
+            metrics=queue_metrics(schedule, total_energy=total_energy),
+            detail={
+                "policy": schedule.policy_name,
+                "capacity": capacity,
+                "outcomes": dict(schedule.counts),
+                "capacity_steps": [list(step) for step in schedule.capacity_steps],
+            },
+            queue=schedule,
+            timeline=timeline,
+            total_nodes=len(platform),
+            horizon=self.horizon,
+        )
 
     # -- point backend ------------------------------------------------------------------
     def _run_point_study(self) -> LabResult:

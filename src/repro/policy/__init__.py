@@ -1,0 +1,23 @@
+"""Scheduling-policy families beyond the paper's GreenPerf weightings.
+
+The paper compares *placement* policies: every request is placed the
+instant it arrives, and the policy only chooses **where** (which SeD).
+Real HPC schedulers — the systems the SWF traces replayed by
+:mod:`repro.workload.ingest` come from — are *queue-centric*: jobs wait
+in a central queue and the policy chooses **when** and **in what order**
+they start (backfill, reservations, fair share).
+
+:mod:`repro.policy.queue` implements that second family — FCFS, EASY
+backfill, conservative backfill and a DRF-style multi-tenant fair
+share — on a deterministic batch simulator, locked by the
+property-based invariant harness in ``tests/policy/``.  The online
+(per-request) face of the same policies lives in
+:mod:`repro.middleware.queue_adapter`, so the middleware driver and
+:mod:`repro.serve` can elect servers under a queue-policy name too.
+
+See ``docs/POLICIES.md`` for the full policy catalogue.
+
+>>> from repro.policy.queue import QUEUE_POLICY_NAMES
+>>> QUEUE_POLICY_NAMES
+('CONSERVATIVE', 'DRF', 'EASY', 'FCFS')
+"""

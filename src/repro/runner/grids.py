@@ -219,12 +219,59 @@ def cross_grid(
     )
 
 
+def queue_grid(
+    trace: str | None = None,
+    *,
+    platforms: Sequence[str] = ("tiny", "quick"),
+    policies: Sequence[str] = ("FCFS", "EASY", "CONSERVATIVE", "DRF"),
+    queue_cores: int | None = None,
+) -> tuple[ScenarioSpec, ...]:
+    """The queue-family grid: platforms × queue policies on one job stream.
+
+    This is the grid behind ``repro sweep --grid queue``: the same job
+    stream batch-scheduled by each queue policy
+    (:mod:`repro.policy.queue`) at each platform scale.  With ``trace``
+    the stream is a replayed SWF/CSV log (whose content hash folds into
+    every scenario hash); without it, each platform preset generates its
+    synthetic burst + continuous stream.  ``queue_cores`` caps the
+    scheduled capacity (e.g. a trace's native ``MaxProcs``) so queues
+    form and the backfill policies separate from FCFS.
+    """
+    overrides = {"queue_cores": int(queue_cores)} if queue_cores is not None else None
+    base = ScenarioSpec(
+        experiment="queue",
+        platform=platforms[0],
+        workload="trace" if trace is not None else platforms[0],
+        policy=policies[0],
+        trace=trace,
+        overrides=overrides,
+    )
+    axes = {"policy": tuple(policies)}
+    if trace is not None:
+        return expand_grid(
+            SweepSpec(base, {"platform": tuple(platforms), **axes})
+        )
+    # Synthetic streams scale the workload preset with the platform, so
+    # each platform size schedules a stream sized for its capacity.
+    return expand_grid(
+        tuple(
+            SweepSpec(base.replace(platform=platform, workload=platform), axes)
+            for platform in platforms
+        )
+    )
+
+
+def _queue_grid() -> tuple[ScenarioSpec, ...]:
+    return queue_grid()
+
+
 _GRIDS: dict[str, Callable[[], tuple[ScenarioSpec, ...]]] = {
     "default": _default_grid,
     "smoke": _smoke_grid,
     "table2": _table2_grid,
     "heterogeneity": _heterogeneity_grid,
     "preferences": _preferences_grid,
+    "queue": _queue_grid,
 }
 
 

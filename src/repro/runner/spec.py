@@ -29,7 +29,7 @@ from typing import Iterable, Mapping, Sequence, Union
 SPEC_VERSION = 1
 
 #: The experiment families the executor knows how to dispatch.
-EXPERIMENTS = ("placement", "heterogeneity", "adaptive")
+EXPERIMENTS = ("placement", "heterogeneity", "adaptive", "queue")
 
 #: Scalar values allowed in ``overrides`` (must survive a JSON round-trip).
 Scalar = Union[bool, int, float, str]

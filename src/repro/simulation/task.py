@@ -55,6 +55,16 @@ class Task:
     service:
         Name of the requested computational service; the default matches
         the paper's single CPU-bound problem.
+    cores:
+        Width of the job in cores.  The middleware placement path runs
+        every task on one core (the paper's model); trace-derived tasks
+        keep their SWF ``allocated_processors`` here so the queue-family
+        backfill policies (:mod:`repro.policy.queue`) can plan with real
+        widths.
+    requested_runtime:
+        The user-declared wall limit in seconds (SWF ``requested_time``),
+        or ``None`` when unknown.  Only consumed by the queue family —
+        backfill plans against the limit, not the true runtime.
     """
 
     flop: float = DEFAULT_TASK_FLOP
@@ -62,6 +72,8 @@ class Task:
     client: str = "client-0"
     user_preference: float = 0.0
     service: str = "cpu-burn"
+    cores: int = 1
+    requested_runtime: float | None = None
     task_id: int = field(default_factory=_next_task_id)
     state: TaskState = field(default=TaskState.SUBMITTED, compare=False)
 
@@ -71,6 +83,10 @@ class Task:
         ensure_in_range(self.user_preference, "user_preference", -1.0, 1.0)
         if not self.service:
             raise ValueError("service must be a non-empty string")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.requested_runtime is not None:
+            ensure_non_negative(self.requested_runtime, "requested_runtime")
 
     def duration_on(self, flops_per_core: float) -> float:
         """Execution time (s) on a core sustaining ``flops_per_core`` FLOP/s."""

@@ -151,6 +151,8 @@ class SWFTraceMap:
             client=self._client(job),
             user_preference=self._preference(job),
             service=self._service(job),
+            cores=job.allocated_processors,
+            requested_runtime=job.requested_time,
         )
 
 

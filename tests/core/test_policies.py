@@ -232,7 +232,21 @@ class TestPolicyRegistry:
             "RANDOM",
             "GREENPERF",
             "GREEN_SCORE",
+            # The queue family resolves through the same registry; the
+            # names instantiate per-request placement adapters here.
+            "FCFS",
+            "EASY",
+            "CONSERVATIVE",
+            "DRF",
         }
+
+    def test_queue_names_resolve_to_placement_adapters(self):
+        from repro.middleware.queue_adapter import QueuePlacementAdapter
+
+        for name in ("fcfs", "EASY", "Conservative", "drf"):
+            policy = policy_by_name(name)
+            assert isinstance(policy, QueuePlacementAdapter)
+            assert policy.name == name.upper()
 
 
 class TestPermutationProperty:

@@ -90,6 +90,109 @@ class TestSimulationProperties:
         assert first.metrics.total_energy == second.metrics.total_energy
 
 
+queue_job_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),   # arrival
+        st.integers(min_value=1, max_value=6),    # cores
+        st.integers(min_value=1, max_value=30),   # runtime
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+#: Crash storms: capacity drops and recoveries at arbitrary instants.
+capacity_event_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=80),   # time
+        st.integers(min_value=-6, max_value=6).filter(lambda d: d != 0),
+    ),
+    max_size=8,
+)
+
+queue_policy_strategy = st.sampled_from(["FCFS", "EASY", "CONSERVATIVE", "DRF"])
+
+
+def _run_queue(rows, policy_name, *, capacity_events=(), horizon=None):
+    from repro.policy.queue.jobs import QueueJob
+    from repro.policy.queue.policies import queue_policy_by_name
+    from repro.policy.queue.simulator import check_schedule, run_queue_simulation
+
+    jobs = [
+        QueueJob(job_id=i, arrival=float(a), cores=c, runtime=float(r))
+        for i, (a, c, r) in enumerate(rows)
+    ]
+    schedule = run_queue_simulation(
+        jobs,
+        capacity=8,
+        policy=queue_policy_by_name(policy_name),
+        capacity_events=capacity_events,
+        horizon=horizon,
+    )
+    check_schedule(schedule)
+    return schedule
+
+
+class TestQueueConservation:
+    """Jobs are conserved: submitted = completed + failed + queued + running.
+
+    ``check_schedule`` already asserts the partition is exact; these
+    properties pin the *composition* under the three regimes a sweep can
+    produce — run to completion, cut at a horizon, and displaced by a
+    crash storm — so no job is ever silently dropped or double-counted.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(rows=queue_job_strategy, policy_name=queue_policy_strategy)
+    def test_fault_free_runs_complete_everything(self, rows, policy_name):
+        schedule = _run_queue(rows, policy_name)
+        counts = schedule.counts
+        assert counts["completed"] == len(rows)
+        assert counts["failed"] == counts["queued"] == counts["running"] == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rows=queue_job_strategy,
+        policy_name=queue_policy_strategy,
+        events=capacity_event_strategy,
+    )
+    def test_crash_storm_conserves_jobs(self, rows, policy_name, events):
+        """Displacement may requeue or fail jobs, never lose them."""
+        schedule = _run_queue(rows, policy_name, capacity_events=events)
+        counts = schedule.counts
+        assert (
+            counts["completed"] + counts["failed"] + counts["queued"]
+            + counts["running"]
+            == len(rows)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rows=queue_job_strategy,
+        policy_name=queue_policy_strategy,
+        events=capacity_event_strategy,
+        horizon=st.integers(min_value=1, max_value=90),
+    )
+    def test_horizon_cut_conserves_jobs(self, rows, policy_name, events, horizon):
+        """At the horizon, in-flight work is 'running', unarrived or
+        unplaced work is 'queued' — the partition still sums exactly."""
+        schedule = _run_queue(
+            rows, policy_name, capacity_events=events, horizon=float(horizon)
+        )
+        counts = schedule.counts
+        assert (
+            counts["completed"] + counts["failed"] + counts["queued"]
+            + counts["running"]
+            == len(rows)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=queue_job_strategy, policy_name=queue_policy_strategy)
+    def test_queue_runs_are_reproducible(self, rows, policy_name):
+        first = _run_queue(rows, policy_name)
+        second = _run_queue(rows, policy_name)
+        assert first == second
+
+
 class TestCoreProperties:
     @settings(max_examples=100, deadline=None)
     @given(

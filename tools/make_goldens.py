@@ -71,9 +71,37 @@ def figure9_golden() -> dict:
     return {"energy_mode": "quantized", "scales": scales}
 
 
+def queue_table_golden() -> dict:
+    """Makespan/energy/wait per queue policy on the bundled SWF trace.
+
+    The mini.swf trace at 16 cores is the reference scenario where the
+    backfill planners visibly beat FCFS (a wide job head-blocks runnable
+    small jobs); the fixture locks each policy's schedule bits.
+    """
+    from repro.experiments.presets import placement_config_for
+    from repro.experiments.queue_family import run_queue_comparison
+
+    trace = Path(__file__).resolve().parent.parent / "tests" / "data" / "mini.swf"
+    comparison = run_queue_comparison(
+        config=placement_config_for("quick", "trace", trace=str(trace)),
+        queue_cores=16,
+    )
+    policies = {}
+    for policy, result in comparison.results.items():
+        policies[policy] = {
+            "makespan": result.metrics["makespan"],
+            "total_energy": result.metrics["total_energy"],
+            "mean_wait": result.metrics["mean_wait"],
+            "completed": result.metrics["task_count"],
+            "failed": result.metrics["failed_tasks"],
+        }
+    return {"trace": "mini.swf", "queue_cores": 16, "policies": policies}
+
+
 GOLDENS = {
     "table2.json": table2_golden,
     "figure9.json": figure9_golden,
+    "queue_table.json": queue_table_golden,
 }
 
 
