@@ -23,8 +23,9 @@ without committing to either).
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.infrastructure.node import Node, NodeSpec
 from repro.middleware.estimation import EstimationTags, EstimationVector
@@ -178,3 +179,81 @@ class GreenPerfRanking:
     def total_power(self) -> float:
         """Sum of the power figures of all ranked servers (W) — Algorithm 1's ``P_Total``."""
         return sum(entry.power for entry in self._entries)
+
+
+class IncrementalGreenPerfOrder:
+    """A ``(greenperf, name)``-sorted node order maintained across checks.
+
+    The provisioning planner (and anything else walking nodes in GreenPerf
+    order, e.g. Algorithm 1's candidate selection over a whole platform)
+    used to re-sort all nodes at every decision point.  The ratio of a
+    node only moves when its SeD's *dynamic power estimate* moves, so this
+    structure keeps the order resident: each SeD invalidation marks its
+    node dirty (O(1)), and a refresh recomputes just the dirty ratios,
+    repositioning a node only when its ratio actually changed (O(log n)
+    locate per move).  Keys include the node name, so the order is total
+    and equals ``sorted(nodes, key=lambda n: (ratio(n), n.name))``
+    bit-for-bit.
+
+    ``seds`` may cover any subset of the nodes (static nodes keep their
+    nameplate ratio forever); it is duck-typed — anything exposing
+    ``observed_request_count``, ``dynamic_mean_power()`` and
+    ``add_invalidation_listener`` works.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        *,
+        seds: Mapping[str, object] | None = None,
+        basis: PerformanceBasis = PerformanceBasis.TOTAL_FLOPS,
+    ) -> None:
+        self._nodes = {node.name: node for node in nodes}
+        self._seds = dict(seds) if seds is not None else {}
+        self._basis = basis
+        self._keys: list[tuple[float, str]] = []
+        self._ratio_of: dict[str, float] = {}
+        self._dirty: set[str] = set()
+        for name, node in self._nodes.items():
+            key = (self._ratio(node), name)
+            self._keys.append(key)
+            self._ratio_of[name] = key[0]
+        self._keys.sort()
+        for name, sed in self._seds.items():
+            if name in self._nodes and hasattr(sed, "add_invalidation_listener"):
+                sed.add_invalidation_listener(self._on_invalidate)
+
+    def _ratio(self, node: Node) -> float:
+        measured: float | None = None
+        sed = self._seds.get(node.name)
+        if sed is not None and sed.observed_request_count > 0:
+            measured = sed.dynamic_mean_power()
+        return greenperf_of_node(node, measured_power=measured, basis=self._basis)
+
+    def _on_invalidate(self, sed) -> None:
+        self._dirty.add(sed.name)
+
+    def _refresh(self) -> None:
+        dirty = self._dirty
+        if not dirty:
+            return
+        keys = self._keys
+        for name in dirty:
+            node = self._nodes.get(name)
+            if node is None:
+                continue
+            old_ratio = self._ratio_of[name]
+            new_ratio = self._ratio(node)
+            if new_ratio == old_ratio:
+                continue
+            index = bisect_left(keys, (old_ratio, name))
+            del keys[index]
+            new_key = (new_ratio, name)
+            keys.insert(bisect_left(keys, new_key), new_key)
+            self._ratio_of[name] = new_ratio
+        dirty.clear()
+
+    def order(self) -> list[str]:
+        """All node names, ascending GreenPerf (most efficient first)."""
+        self._refresh()
+        return [name for _, name in self._keys]

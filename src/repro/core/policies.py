@@ -32,7 +32,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.greenperf import PowerEstimationMode, greenperf_of_vector
-from repro.core.scoring import ServerScore
+from repro.core.scoring import (
+    ServerScore,
+    completion_time_array,
+    energy_consumption_array,
+    score_array,
+)
 from repro.middleware.estimation import EstimationTags
 from repro.middleware.plugin_scheduler import CandidateEntry, PluginScheduler
 from repro.middleware.requests import ServiceRequest
@@ -64,18 +69,25 @@ class PowerPolicy(PluginScheduler):
         )
         return entry.estimation.get(tag)
 
+    def rank_key(self, entry: CandidateEntry) -> tuple:
+        """Request-independent total-order key (availability, power, waiting, name)."""
+        return (
+            _availability_rank(entry),
+            self._power_of(entry),
+            entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
+            entry.server,
+        )
+
+    def point_metric(self, request: ServiceRequest, *, flops, power):
+        """Vectorised point-study metric: the power draw itself."""
+        # The point study's vectors carry mean == peak == nameplate power,
+        # so the dynamic/nameplate switch reads the same array.
+        return power
+
     def sort(
         self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
     ) -> list[CandidateEntry]:
-        return sorted(
-            candidates,
-            key=lambda entry: (
-                _availability_rank(entry),
-                self._power_of(entry),
-                entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
-                entry.server,
-            ),
-        )
+        return sorted(candidates, key=self.rank_key)
 
 
 class PerformancePolicy(PluginScheduler):
@@ -94,18 +106,25 @@ class PerformancePolicy(PluginScheduler):
         )
         return entry.estimation.get(tag)
 
+    def rank_key(self, entry: CandidateEntry) -> tuple:
+        """Request-independent total-order key (availability, −speed, waiting, name)."""
+        return (
+            _availability_rank(entry),
+            -self._speed_of(entry),
+            entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
+            entry.server,
+        )
+
+    def point_metric(self, request: ServiceRequest, *, flops, power):
+        """Vectorised point-study metric: negated speed (fastest first)."""
+        # Single-core point servers expose total == per-core FLOPS, so both
+        # per_core settings read the same array.
+        return -flops
+
     def sort(
         self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
     ) -> list[CandidateEntry]:
-        return sorted(
-            candidates,
-            key=lambda entry: (
-                _availability_rank(entry),
-                -self._speed_of(entry),
-                entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
-                entry.server,
-            ),
-        )
+        return sorted(candidates, key=self.rank_key)
 
 
 class RandomPolicy(PluginScheduler):
@@ -132,6 +151,15 @@ class RandomPolicy(PluginScheduler):
         )
         return [indexed[i] for i in order]
 
+    def point_metric(self, request: ServiceRequest, *, flops, power):
+        """Vectorised point-study metric: one uniform draw per candidate.
+
+        Consumes exactly the same RNG stream as :meth:`sort` would (one
+        ``random(len(candidates))`` call), so runs stay reproducible and
+        interchangeable with the unvectorised path.
+        """
+        return self._rng.random(len(flops))
+
     def aggregate(
         self,
         request: ServiceRequest,
@@ -156,18 +184,25 @@ class GreenPerfPolicy(PluginScheduler):
     ) -> None:
         self.mode = mode
 
+    def rank_key(self, entry: CandidateEntry) -> tuple:
+        """Request-independent total-order key (availability, ratio, waiting, name)."""
+        return (
+            _availability_rank(entry),
+            greenperf_of_vector(entry.estimation, mode=self.mode),
+            entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
+            entry.server,
+        )
+
+    def point_metric(self, request: ServiceRequest, *, flops, power):
+        """Vectorised point-study metric: the power/performance ratio."""
+        # Point vectors expose mean == peak power and total == per-core
+        # FLOPS, so both estimation modes reduce to the same ratio.
+        return power / flops
+
     def sort(
         self, request: ServiceRequest, candidates: Sequence[CandidateEntry]
     ) -> list[CandidateEntry]:
-        return sorted(
-            candidates,
-            key=lambda entry: (
-                _availability_rank(entry),
-                greenperf_of_vector(entry.estimation, mode=self.mode),
-                entry.estimation.get(EstimationTags.WAITING_TIME, 0.0),
-                entry.server,
-            ),
-        )
+        return sorted(candidates, key=self.rank_key)
 
 
 class GreenSchedulerPolicy(PluginScheduler):
@@ -208,6 +243,21 @@ class GreenSchedulerPolicy(PluginScheduler):
             scored.append((evaluation.score, entry.server, entry))
         scored.sort(key=lambda item: (item[0], item[1]))
         return [entry for _, _, entry in scored]
+
+    def point_metric(self, request: ServiceRequest, *, flops, power):
+        """Vectorised point-study metric: the Equation 6 score.
+
+        Point-study candidates are free and booted (waiting time and boot
+        costs zero), so Equations 4–5 reduce to their active branches.
+        """
+        preference = request.user_preference
+        if preference == 0.0:
+            preference = self.default_preference
+        time = completion_time_array(request.task.flop, flops)
+        energy = energy_consumption_array(
+            request.task.flop, flops, full_load_power=power
+        )
+        return score_array(time, energy, preference)
 
 
 #: Registry used by experiments and the CLI-style examples.

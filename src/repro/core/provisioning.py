@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.core.greenperf import PerformanceBasis, greenperf_of_node
+from repro.core.greenperf import IncrementalGreenPerfOrder, PerformanceBasis
 from repro.core.rules import AdministratorRules, PlatformStatus, RuleDecision
 from repro.infrastructure.electricity import ElectricityCostSchedule
 from repro.infrastructure.node import Node, NodeState
@@ -119,6 +119,9 @@ class ProvisioningPlanner:
         self._decisions: list[ProvisioningDecision] = []
         self._candidates: set[str] = set()
         self._installed = False
+        self._order = IncrementalGreenPerfOrder(
+            tuple(platform.nodes), seds=self.seds, basis=PerformanceBasis.TOTAL_FLOPS
+        )
         self._initialise_candidates()
 
     # -- initialisation ------------------------------------------------------------
@@ -137,18 +140,13 @@ class ProvisioningPlanner:
         The power term uses the SeD's dynamic estimate when a SeD mapping
         was provided and the node has history, otherwise the nameplate
         figure — the same static/dynamic duality as the metric itself.
+        The order is resident
+        (:class:`~repro.core.greenperf.IncrementalGreenPerfOrder`): SeD
+        invalidations mark nodes dirty and each check repositions only
+        the nodes whose ratio actually moved, instead of re-sorting the
+        whole platform.
         """
-        def ratio(node: Node) -> float:
-            measured: float | None = None
-            sed = self.seds.get(node.name)
-            if sed is not None and sed.observed_request_count > 0:
-                measured = sed.dynamic_mean_power()
-            return greenperf_of_node(
-                node, measured_power=measured, basis=PerformanceBasis.TOTAL_FLOPS
-            )
-
-        ordered = sorted(self.platform.nodes, key=lambda node: (ratio(node), node.name))
-        return [node.name for node in ordered]
+        return self._order.order()
 
     # -- candidate filter -----------------------------------------------------------
     def install(self) -> None:

@@ -350,9 +350,13 @@ class EnergyAccountant:
         mode: str = "quantized",
         sample_period: float = 1.0,
         start_time: float = 0.0,
+        phase_timer=None,
     ) -> None:
         self.log = SegmentEnergyLog(sample_period, mode=mode, start_time=start_time)
         self._clock = clock
+        #: Optional :class:`~repro.util.phases.PhaseTimer` booking segment
+        #: bookkeeping to the "energy" phase on profiled runs.
+        self._phase_timer = phase_timer
         self._nodes: list[Node] = list(nodes)
         #: Open interval per node: (segment start, watts in effect since then).
         self._open: dict[str, tuple[float, float]] = {}
@@ -379,13 +383,20 @@ class EnergyAccountant:
 
     # -- the transition hook -------------------------------------------------------
     def _on_power_change(self, node: "Node") -> None:
-        now = self._clock()
-        start, watts = self._open[node.name]
-        new_watts = node.current_power()
-        if new_watts == watts:
-            return  # same draw: the open segment simply extends
-        self.log.add_segment(node.name, node.cluster, start, now, watts)
-        self._open[node.name] = (now, new_watts)
+        timer = self._phase_timer
+        if timer is not None:
+            timer.push("energy")
+        try:
+            now = self._clock()
+            start, watts = self._open[node.name]
+            new_watts = node.current_power()
+            if new_watts == watts:
+                return  # same draw: the open segment simply extends
+            self.log.add_segment(node.name, node.cluster, start, now, watts)
+            self._open[node.name] = (now, new_watts)
+        finally:
+            if timer is not None:
+                timer.pop()
 
     @property
     def closed(self) -> bool:

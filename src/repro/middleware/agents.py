@@ -50,9 +50,30 @@ class Agent:
         if not name:
             raise ValueError("agent name must be a non-empty string")
         self.name = name
-        self.scheduler = scheduler or FirstComeFirstServedScheduler()
+        self._scheduler = scheduler or FirstComeFirstServedScheduler()
         self._child_agents: list[Agent] = []
         self._seds: list[ServerDaemon] = []
+        self._parent: "Agent | None" = None
+        #: Monotonic counter bumped (and propagated to ancestors) on every
+        #: topology or scheduler change, so the Master Agent knows when its
+        #: resident ranking must be rebuilt.
+        self._version = 0
+
+    @property
+    def scheduler(self) -> PluginScheduler:
+        """The plug-in scheduler sorting this agent's candidates."""
+        return self._scheduler
+
+    @scheduler.setter
+    def scheduler(self, scheduler: PluginScheduler) -> None:
+        self._scheduler = scheduler
+        self._bump_version()
+
+    def _bump_version(self) -> None:
+        agent: Agent | None = self
+        while agent is not None:
+            agent._version += 1
+            agent = agent._parent
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -66,10 +87,13 @@ class Agent:
         if agent is self:
             raise ValueError("an agent cannot be its own child")
         self._child_agents.append(agent)
+        agent._parent = self
+        self._bump_version()
 
     def add_sed(self, sed: ServerDaemon) -> None:
         """Attach a SeD."""
         self._seds.append(sed)
+        self._bump_version()
 
     @property
     def child_agents(self) -> Sequence["Agent"]:
@@ -139,38 +163,121 @@ class MasterAgent(Agent):
     and elects the first SeD of the resulting ranking.
     """
 
+    #: Sentinel meaning "checked: this hierarchy cannot host a resident ranking".
+    _RANKING_UNSUPPORTED = object()
+
     def __init__(
         self,
         name: str = "master-agent",
         *,
         scheduler: PluginScheduler | None = None,
         candidate_filter: CandidateFilter | None = None,
+        use_resident_ranking: bool = True,
     ) -> None:
         super().__init__(name, scheduler=scheduler)
         self.candidate_filter = candidate_filter
+        #: Force-disable knob: ``False`` always takes the per-request tree
+        #: walk (used by equivalence tests and baseline benchmarks).
+        self.use_resident_ranking = use_resident_ranking
+        self._ranking = None
+        self._ranking_version = -1
+        #: Optional :class:`~repro.util.phases.PhaseTimer` attributing
+        #: election time to the estimation/scoring phases (profiled runs
+        #: only; ``None`` costs nothing).
+        self.phase_timer = None
 
     def set_candidate_filter(self, candidate_filter: CandidateFilter | None) -> None:
         """Install (or clear) the candidate filter."""
         self.candidate_filter = candidate_filter
 
-    def submit(self, request: ServiceRequest) -> SchedulingOutcome:
+    # -- resident ranking ---------------------------------------------------------
+    def _iter_agents(self) -> Iterable["Agent"]:
+        stack: list[Agent] = [self]
+        while stack:
+            agent = stack.pop()
+            yield agent
+            stack.extend(agent._child_agents)
+
+    def _build_ranking(self):
+        """A :class:`~repro.middleware.ranking.ResidentRanking`, or the sentinel.
+
+        The resident order equals the hierarchical walk only when one
+        ``rank_key`` policy instance sorts at *every* level (then per-level
+        sort + aggregate and a global sort are the same permutation) and
+        every SeD runs the default request-independent estimation function
+        (then the invalidation listeners see every vector change).
+        """
+        from repro.middleware.ranking import ResidentRanking
+
+        if getattr(self._scheduler, "rank_key", None) is None:
+            return self._RANKING_UNSUPPORTED
+        if any(agent._scheduler is not self._scheduler for agent in self._iter_agents()):
+            return self._RANKING_UNSUPPORTED
+        seds = self.all_seds()
+        if any(not sed.estimation_cacheable for sed in seds):
+            return self._RANKING_UNSUPPORTED
+        return ResidentRanking(self._scheduler, seds)
+
+    def _resident_candidates(self, request: ServiceRequest):
+        """Ranked candidates from the resident order, or ``None`` to fall back."""
+        if not self.use_resident_ranking:
+            return None
+        if self._ranking is None or self._ranking_version != self._version:
+            if self._ranking is not None and self._ranking is not self._RANKING_UNSUPPORTED:
+                self._ranking.detach()
+            self._ranking = self._build_ranking()
+            self._ranking_version = self._version
+        ranking = self._ranking
+        if ranking is self._RANKING_UNSUPPORTED:
+            return None
+        candidates = ranking.candidates(request)
+        if candidates is None:
+            # A SeD lost its default estimation function mid-run: retire the
+            # resident order for good (until the next topology change).
+            ranking.detach()
+            self._ranking = self._RANKING_UNSUPPORTED
+            return None
+        return candidates
+
+    def submit(
+        self, request: ServiceRequest, *, include_ranking: bool = True
+    ) -> SchedulingOutcome:
         """Run the full scheduling process for one request.
 
         Returns a :class:`SchedulingOutcome` whose ``elected`` field is
         ``None`` when no SeD can solve the request (error case of step 1).
+        ``include_ranking=False`` elects identically but leaves the
+        outcome's ``ranked_candidates`` empty — sweeps that never read the
+        ranking skip materialising an O(servers) tuple per request.
         """
-        candidates = self.collect_candidates(request)
-        if self.candidate_filter is not None and candidates:
-            candidates = list(self.candidate_filter(request, candidates))
-            candidates = self.scheduler.sort(request, candidates)
-        if not candidates:
-            return SchedulingOutcome(request=request, elected=None, ranked_candidates=())
-        ranked_vectors = tuple(entry.estimation for entry in candidates)
-        return SchedulingOutcome(
-            request=request,
-            elected=candidates[0].server,
-            ranked_candidates=ranked_vectors,
-        )
+        timer = self.phase_timer
+        if timer is not None:
+            timer.push("estimation")
+        candidates = self._resident_candidates(request)
+        if candidates is None:
+            candidates = self.collect_candidates(request)
+        if timer is not None:
+            timer.pop()
+            timer.push("scoring")
+        try:
+            if self.candidate_filter is not None and candidates:
+                candidates = list(self.candidate_filter(request, candidates))
+                candidates = self.scheduler.sort(request, candidates)
+            if not candidates:
+                return SchedulingOutcome(
+                    request=request, elected=None, ranked_candidates=()
+                )
+            ranked_vectors = (
+                tuple(entry.estimation for entry in candidates) if include_ranking else ()
+            )
+            return SchedulingOutcome(
+                request=request,
+                elected=candidates[0].server,
+                ranked_candidates=ranked_vectors,
+            )
+        finally:
+            if timer is not None:
+                timer.pop()
 
     def find_sed(self, name: str) -> ServerDaemon:
         """Look up a SeD by name anywhere in the hierarchy."""

@@ -28,6 +28,7 @@ class Client:
         name: str = "client-0",
         default_preference: float = 0.0,
         keep_outcomes: bool = True,
+        include_ranking: bool | None = None,
     ) -> None:
         if not name:
             raise ValueError("client name must be a non-empty string")
@@ -39,6 +40,11 @@ class Client:
         #: outcome retains the full ranked estimation-vector tuple, which
         #: is O(requests × servers) memory nothing in a sweep reads.
         self._keep_outcomes = keep_outcomes
+        #: Whether outcomes carry the full ranked estimation-vector tuple.
+        #: Defaults to ``keep_outcomes``: a client that drops its outcomes
+        #: has nothing that reads the ranking, so the Master Agent skips
+        #: materialising the O(servers) tuple per request.
+        self._include_ranking = keep_outcomes if include_ranking is None else include_ranking
         self._outcomes: list[SchedulingOutcome] = []
         self._submitted = 0
         self._rejected = 0
@@ -78,7 +84,7 @@ class Client:
         request = self.make_request(
             task, submitted_at=submitted_at, user_preference=user_preference
         )
-        outcome = self.master.submit(request)
+        outcome = self.master.submit(request, include_ranking=self._include_ranking)
         self._submitted += 1
         if not outcome.succeeded:
             self._rejected += 1

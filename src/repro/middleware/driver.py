@@ -71,6 +71,7 @@ from repro.simulation.engine import ScheduledEvent, SimulationEngine
 from repro.simulation.metrics import ExperimentMetrics, MetricsCollector
 from repro.simulation.task import Task, TaskExecution, TaskState
 from repro.simulation.trace import ExecutionTrace
+from repro.util import phases
 
 #: Valid values of ``MiddlewareSimulation(energy_mode=...)``.
 ENERGY_MODES = ("quantized", "exact", "polling", "off")
@@ -116,6 +117,7 @@ class MiddlewareSimulation:
         policy_name: str | None = None,
         energy_mode: str = "quantized",
         trace_level: str = "full",
+        phase_timer: "phases.PhaseTimer | None" = None,
     ) -> None:
         if energy_mode not in ENERGY_MODES:
             raise ValueError(
@@ -130,6 +132,13 @@ class MiddlewareSimulation:
         self.platform = platform
         self.master = master
         self.seds = dict(seds)
+        #: Per-phase profiling hook.  Explicit timer wins; otherwise the
+        #: process-wide active timer (set by ``repro sweep --profile`` and
+        #: the benchmarks) is picked up; ``None`` disables attribution.
+        self.phase_timer = (
+            phase_timer if phase_timer is not None else phases.active_timer()
+        )
+        master.phase_timer = self.phase_timer
         self.engine = SimulationEngine()
         self.trace = ExecutionTrace()
         self._trace_on = trace_level == "full"
@@ -152,6 +161,7 @@ class MiddlewareSimulation:
                 clock=lambda: engine.now,
                 mode=energy_mode,
                 sample_period=sample_period,
+                phase_timer=self.phase_timer,
             )
         self._rejected = 0
         self._failed = 0
@@ -174,17 +184,44 @@ class MiddlewareSimulation:
 
     # -- workload submission -------------------------------------------------------
     def submit_workload(self, tasks: Sequence[Task]) -> None:
-        """Schedule the arrival of every task in ``tasks``."""
+        """Schedule the arrival of every task in ``tasks``.
+
+        Consecutive tasks sharing an arrival time are folded into one
+        batched engine event (:meth:`SimulationEngine.schedule_many`): a
+        burst of arrivals at one instant costs a single heap pop instead
+        of one per task, while firing order, event counts and scheduling
+        decisions stay identical to per-task scheduling.
+        """
         trace_on = self._trace_on
         schedule = self.engine.schedule
+        schedule_many = self.engine.schedule_many
         handle_arrival = self._handle_arrival
+
+        def flush(group: list[Task]) -> None:
+            if len(group) == 1:
+                task = group[0]
+                schedule(
+                    task.arrival_time,
+                    handle_arrival,
+                    args=(task,),
+                    label=f"arrival-{task.task_id}" if trace_on else "",
+                )
+            else:
+                schedule_many(
+                    group[0].arrival_time,
+                    handle_arrival,
+                    group,
+                    label=f"arrivals-x{len(group)}" if trace_on else "",
+                )
+
+        group: list[Task] = []
         for task in tasks:
-            schedule(
-                task.arrival_time,
-                handle_arrival,
-                args=(task,),
-                label=f"arrival-{task.task_id}" if trace_on else "",
-            )
+            if group and task.arrival_time != group[0].arrival_time:
+                flush(group)
+                group = []
+            group.append(task)
+        if group:
+            flush(group)
 
     def inject_task(self, task: Task) -> SchedulingOutcome:
         """Submit ``task`` immediately (at the engine's current time).
@@ -424,7 +461,16 @@ class MiddlewareSimulation:
     # -- execution ------------------------------------------------------------------------
     def run(self, *, until: float | None = None, max_events: int | None = None) -> SimulationResult:
         """Run the simulation to completion (or ``until``) and summarise it."""
-        self.engine.run(until=until, max_events=max_events)
+        timer = self.phase_timer
+        if timer is not None:
+            # Engine time not claimed by a narrower phase (estimation,
+            # scoring, energy) books to "dispatch".
+            timer.push("dispatch")
+        try:
+            self.engine.run(until=until, max_events=max_events)
+        finally:
+            if timer is not None:
+                timer.pop()
         self._sample_power()
         if self.accountant is not None and not self.accountant.closed:
             self.accountant.sync(self.engine.now)

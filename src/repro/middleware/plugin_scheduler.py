@@ -51,6 +51,30 @@ class PluginScheduler(ABC):
     #: Human-readable policy name used in reports (Table II column headers).
     name: str = "plugin"
 
+    #: Request-independent total-order sort key, or ``None``.
+    #:
+    #: Policies whose ranking depends only on the estimation vector (not on
+    #: the request or on private mutable state) override this with a method
+    #: ``rank_key(entry: CandidateEntry) -> tuple`` returning exactly the
+    #: key their :meth:`sort` uses.  The key must end with ``entry.server``
+    #: so the order is total; then sorting candidates by ``rank_key`` —
+    #: level by level or globally — always yields the same permutation,
+    #: which lets :class:`~repro.middleware.ranking.ResidentRanking` keep
+    #: the order resident across requests and reposition single servers in
+    #: O(log n) instead of re-sorting everything per election.
+    rank_key = None
+
+    #: Vectorised metric over free single-core point-study servers, or ``None``.
+    #:
+    #: Policies that can score the lab point backend's candidate axis in
+    #: one numpy expression override this with a method
+    #: ``point_metric(request, *, flops, power) -> np.ndarray`` returning a
+    #: per-candidate figure such that electing ``min(metric, server_name)``
+    #: equals ``sort(request, candidates)[0]``.  Only valid for the point
+    #: study's vector shape (every candidate free, waiting time zero, mean
+    #: == idle == peak power, total == per-core FLOPS).
+    point_metric = None
+
     @abstractmethod
     def sort(
         self, request: ServiceRequest, candidates: Sequence[CandidateEntry]

@@ -76,6 +76,10 @@ class ServerDaemon:
         #: Per-request energy/duration history feeding the dynamic power estimate.
         self._request_power = RunningStats()
         self._request_energy = RunningStats()
+        #: Callbacks fired whenever the cached vector is invalidated — the
+        #: resident ranking (:mod:`repro.middleware.ranking`) subscribes
+        #: here to mark this SeD dirty in O(1) per transition.
+        self._invalidation_listeners: list[Callable[["ServerDaemon"], None]] = []
         if self._cacheable:
             node.add_power_listener(self._on_state_change)
             self.queue.add_listener(self.invalidate_estimation)
@@ -108,16 +112,43 @@ class ServerDaemon:
 
     # -- incremental estimation ---------------------------------------------------
     def _on_state_change(self, node: Node) -> None:
-        self._cached_vector = None
+        self.invalidate_estimation()
 
     def invalidate_estimation(self) -> None:
         """Drop the cached estimation vector (next request recomputes it)."""
         self._cached_vector = None
+        for listener in self._invalidation_listeners:
+            listener(self)
+
+    def add_invalidation_listener(
+        self, listener: Callable[["ServerDaemon"], None]
+    ) -> None:
+        """Subscribe ``listener(sed)`` to every estimation invalidation.
+
+        Listeners fire on each node power transition, queue mutation,
+        power observation and estimation-function swap — the complete set
+        of triggers that can move this SeD's estimation vector.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def remove_invalidation_listener(
+        self, listener: Callable[["ServerDaemon"], None]
+    ) -> None:
+        """Unsubscribe a previously added invalidation listener."""
+        try:
+            self._invalidation_listeners.remove(listener)
+        except ValueError:
+            pass
 
     @property
     def estimation_cached(self) -> bool:
         """Whether the current estimation vector is served from the cache."""
         return self._cached_vector is not None
+
+    @property
+    def estimation_cacheable(self) -> bool:
+        """Whether the default (request-independent) estimation function is active."""
+        return self._cacheable
 
     # -- dynamic power estimation -------------------------------------------------
     def record_request_power(self, mean_power: float, energy: float) -> None:
@@ -129,7 +160,7 @@ class ServerDaemon:
         """
         self._request_power.add(mean_power)
         self._request_energy.add(energy)
-        self._cached_vector = None
+        self.invalidate_estimation()
 
     @property
     def observed_request_count(self) -> int:
@@ -161,7 +192,7 @@ class ServerDaemon:
         """
         self._estimation_function = function
         self._cacheable = False
-        self._cached_vector = None
+        self.invalidate_estimation()
 
     def estimate(self, request: ServiceRequest) -> EstimationVector:
         """Produce the estimation vector for ``request``.

@@ -50,30 +50,46 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return execute_spec(spec)
 
 
-def execute_scenario_timed(spec: ScenarioSpec) -> tuple[ScenarioResult, float]:
-    """Run one scenario and return ``(result, wall_seconds)``.
+def execute_scenario_timed(
+    spec: ScenarioSpec,
+) -> tuple[ScenarioResult, float, dict[str, float]]:
+    """Run one scenario and return ``(result, wall_seconds, phase_seconds)``.
 
     Module-level so it pickles for the process pool; used by
     ``run_scenarios(profile=True)`` (``repro sweep --profile``).
+
+    A fresh :class:`~repro.util.phases.PhaseTimer` is activated around the
+    scenario so the middleware layers attribute wall time to the
+    estimation/scoring/dispatch/energy phases.  Phase totals travel in the
+    profile side-channel — never in ``ScenarioResult.metrics`` — so
+    profiled and unprofiled runs of the same spec stay byte-identical.
     """
+    from repro.util import phases
+
+    timer = phases.activate(phases.PhaseTimer())
     started = time.perf_counter()
-    result = execute_scenario(spec)
-    return result, time.perf_counter() - started
+    try:
+        result = execute_scenario(spec)
+    finally:
+        phases.deactivate()
+    return result, time.perf_counter() - started, timer.totals()
 
 
 @dataclass(frozen=True)
 class SweepOutcome:
     """Results of a sweep, in grid order, plus cache accounting.
 
-    ``wall_times`` is only populated by profiled runs
-    (``run_scenarios(profile=True)``): one wall-clock duration per result,
-    aligned with ``results`` (0.0 for cache hits).
+    ``wall_times`` and ``phase_times`` are only populated by profiled runs
+    (``run_scenarios(profile=True)``): one wall-clock duration and one
+    phase-seconds mapping per result, aligned with ``results`` (0.0 and an
+    empty mapping for cache hits).
     """
 
     results: tuple[ScenarioResult, ...]
     executed: int
     cached: int
     wall_times: tuple[float, ...] = field(default=())
+    phase_times: tuple[dict[str, float], ...] = field(default=())
 
     @property
     def total(self) -> int:
@@ -108,8 +124,8 @@ def run_scenarios(
     serially for ``jobs <= 1``, otherwise on a process pool — and streamed
     to ``progress`` and the store as they complete.  The returned
     ``results`` tuple is always in grid order.  With ``profile=True`` the
-    outcome also carries per-scenario wall times (measured inside the
-    worker, so pool scheduling overhead is excluded).
+    outcome also carries per-scenario wall times and per-phase seconds
+    (measured inside the worker, so pool scheduling overhead is excluded).
     """
     scenarios = tuple(scenarios)
     if jobs < 1:
@@ -118,6 +134,7 @@ def run_scenarios(
     total = len(scenarios)
     results: list[ScenarioResult | None] = [None] * total
     wall_times: list[float] = [0.0] * total
+    phase_times: list[dict[str, float]] = [{} for _ in range(total)]
 
     pending: list[int] = []
     for index, scenario in enumerate(scenarios):
@@ -131,9 +148,16 @@ def run_scenarios(
         else:
             pending.append(index)
 
-    def _complete(index: int, result: ScenarioResult, elapsed: float = 0.0) -> None:
+    def _complete(
+        index: int,
+        result: ScenarioResult,
+        elapsed: float = 0.0,
+        phases: dict[str, float] | None = None,
+    ) -> None:
         results[index] = result
         wall_times[index] = elapsed
+        if phases:
+            phase_times[index] = phases
         if resolved_store is not None:
             resolved_store.put(result)
         if progress is not None:
@@ -166,6 +190,7 @@ def run_scenarios(
         executed=len(pending),
         cached=total - len(pending),
         wall_times=tuple(wall_times) if profile else (),
+        phase_times=tuple(phase_times) if profile else (),
     )
 
 

@@ -20,6 +20,7 @@ from typing import Sequence, TextIO
 
 from repro.runner.executor import SweepOutcome
 from repro.runner.store import DEFAULT_SUMMARY_METRICS, ScenarioResult, summarize
+from repro.util.phases import PHASES
 from repro.util.tables import render_table
 
 
@@ -107,18 +108,30 @@ def format_sweep_profile(outcome: SweepOutcome) -> str:
     cache hits show as ``hit`` with no timing.  The ``events`` metric is
     recorded by the executors (engine events for simulation-backed
     scenarios); results cached by older versions may not carry it, in
-    which case the throughput column is blank.
+    which case the throughput column is blank.  When any executed scenario
+    reports per-phase seconds (estimation / scoring / dispatch / energy),
+    one column per phase is appended so hot spots stay attributable.
     """
     if not outcome.wall_times:
         raise ValueError("outcome was not profiled; pass profile=True to the runner")
+    phase_times = outcome.phase_times or ({},) * len(outcome.results)
+    active_phases = tuple(
+        phase
+        for phase in PHASES
+        if any(phase in totals for totals in phase_times)
+    )
     rows = []
     total_wall = 0.0
     total_events = 0.0
     events_wall = 0.0  # wall time of event-bearing scenarios only
-    for result, wall in zip(outcome.results, outcome.wall_times):
+    phase_totals = {phase: 0.0 for phase in active_phases}
+    for result, wall, totals in zip(outcome.results, outcome.wall_times, phase_times):
         events = result.metrics.get("events")
         if result.cached:
-            rows.append((result.spec.scenario_id, "hit", "-", "-"))
+            rows.append(
+                (result.spec.scenario_id, "hit", "-", "-")
+                + ("-",) * len(active_phases)
+            )
             continue
         total_wall += wall
         rate = "-"
@@ -126,6 +139,12 @@ def format_sweep_profile(outcome: SweepOutcome) -> str:
             total_events += events
             events_wall += wall
             rate = f"{events / wall:,.0f}"
+        phase_cells = []
+        for phase in active_phases:
+            seconds = totals.get(phase)
+            phase_cells.append(f"{seconds:.3f}" if seconds is not None else "-")
+            if seconds is not None:
+                phase_totals[phase] += seconds
         rows.append(
             (
                 result.spec.scenario_id,
@@ -133,9 +152,24 @@ def format_sweep_profile(outcome: SweepOutcome) -> str:
                 f"{events:,.0f}" if events is not None else "-",
                 rate,
             )
+            + tuple(phase_cells)
         )
     lines = ["Per-scenario profile:"]
-    lines.append(render_table(("scenario", "wall s", "events", "events/s"), rows))
+    headers = ("scenario", "wall s", "events", "events/s") + tuple(
+        f"{phase} s" for phase in active_phases
+    )
+    lines.append(render_table(headers, rows))
+    if active_phases and total_wall > 0:
+        attributed = sum(phase_totals.values())
+        breakdown = ", ".join(
+            f"{phase} {phase_totals[phase]:.3f} s"
+            f" ({phase_totals[phase] / total_wall:.0%})"
+            for phase in active_phases
+        )
+        lines.append(
+            f"phase breakdown: {breakdown}, "
+            f"other {max(total_wall - attributed, 0.0):.3f} s"
+        )
     if total_wall > 0:
         summary = f"executed wall time {total_wall:.3f} s"
         if total_events:

@@ -37,7 +37,16 @@ class ScheduledEvent:
     the ordering is total and FIFO among equal ``(time, priority)``.
     """
 
-    __slots__ = ("time", "priority", "sequence", "callback", "args", "label", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "label",
+        "cancelled",
+        "_engine",
+    )
 
     def __init__(
         self,
@@ -47,6 +56,7 @@ class ScheduledEvent:
         callback: EventCallback,
         args: Sequence,
         label: str,
+        engine: "SimulationEngine | None" = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -55,6 +65,7 @@ class ScheduledEvent:
         self.args = args
         self.label = label
         self.cancelled = False
+        self._engine = engine
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -63,13 +74,69 @@ class ScheduledEvent:
             return self.priority < other.priority
         return self.sequence < other.sequence
 
+    @property
+    def event_count(self) -> int:
+        """How many logical events this heap entry carries (1 unless batched)."""
+        return 1
+
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            engine._on_cancel(self)
+
+    def _fire(self) -> int:
+        """Invoke the callback(s); returns the number of logical events fired."""
+        self.callback(*self.args)
+        return 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = " cancelled" if self.cancelled else ""
         return f"ScheduledEvent(t={self.time}, {self.label!r}{state})"
+
+
+class BatchedEvent(ScheduledEvent):
+    """Several same-instant logical events folded into one heap entry.
+
+    A burst of arrivals at one timestamp shares a single heap push/pop;
+    the callback fires once per item, in submission order, and each item
+    counts as one logical event towards ``processed_events`` and
+    ``pending_events``.  The batch fires atomically: cancelling it after
+    the first item has fired has no effect.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: EventCallback,
+        items: tuple,
+        label: str,
+        engine: "SimulationEngine | None" = None,
+    ) -> None:
+        super().__init__(time, priority, sequence, callback, (), label, engine)
+        self.items = items
+
+    @property
+    def event_count(self) -> int:
+        return len(self.items)
+
+    def _fire(self) -> int:
+        callback = self.callback
+        for item in self.items:
+            callback(item)
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = " cancelled" if self.cancelled else ""
+        return f"BatchedEvent(t={self.time}, n={len(self.items)}, {self.label!r}{state})"
 
 
 class SimulationEngine:
@@ -91,6 +158,7 @@ class SimulationEngine:
         self._heap: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._pending = 0
 
     # -- clock -----------------------------------------------------------------
     @property
@@ -100,8 +168,18 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live events still queued.
+
+        Cancelled events stop counting the moment they are cancelled (they
+        stay in the heap as tombstones until popped, but they are no longer
+        backlog); each item of a batched entry counts individually, so the
+        figure is the true number of callbacks still to fire.
+        """
+        return self._pending
+
+    def _on_cancel(self, entry: ScheduledEvent) -> None:
+        """Bookkeeping hook called by a live event when it is cancelled."""
+        self._pending -= entry.event_count
 
     @property
     def processed_events(self) -> int:
@@ -123,17 +201,49 @@ class SimulationEngine:
         ``time`` must not be in the past.  Returns the event itself, whose
         :meth:`~ScheduledEvent.cancel` method removes it.
         """
+        self._check_time(time)
+        entry = ScheduledEvent(
+            time, priority, next(self._sequence), callback, args, label, self
+        )
+        heapq.heappush(self._heap, entry)
+        self._pending += 1
+        return entry
+
+    def schedule_many(
+        self,
+        time: float,
+        callback: EventCallback,
+        items: Sequence,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(item)`` for every item, as one heap entry.
+
+        All items fire at the same ``time`` with the same ``priority``, in
+        the order given — exactly as if each had been scheduled
+        individually, back to back — but a burst of any size costs a single
+        heap push/pop.  Each item still counts as one logical event for
+        :attr:`pending_events` and :attr:`processed_events`, so metrics are
+        identical to the unbatched formulation.
+        """
+        self._check_time(time)
+        if not items:
+            raise ValueError("schedule_many requires at least one item")
+        entry = BatchedEvent(
+            time, priority, next(self._sequence), callback, tuple(items), label, self
+        )
+        heapq.heappush(self._heap, entry)
+        self._pending += entry.event_count
+        return entry
+
+    def _check_time(self, time: float) -> None:
         if not math.isfinite(time):
             raise ValueError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise ValueError(
                 f"cannot schedule an event at {time} before current time {self._now}"
             )
-        entry = ScheduledEvent(
-            time, priority, next(self._sequence), callback, args, label
-        )
-        heapq.heappush(self._heap, entry)
-        return entry
 
     def schedule_in(
         self,
@@ -151,17 +261,25 @@ class SimulationEngine:
         )
 
     # -- execution -------------------------------------------------------------------
-    def step(self) -> bool:
-        """Fire the next pending event.  Returns ``False`` if none remain."""
+    def step(self) -> int:
+        """Fire the next pending heap entry.
+
+        Returns the number of logical events fired (0 when none remain,
+        ``len(items)`` for a batched entry) — truthy exactly when an event
+        fired, so existing ``while engine.step():`` loops keep working.
+        """
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
                 continue
             self._now = entry.time
-            entry.callback(*entry.args)
-            self._processed += 1
-            return True
-        return False
+            entry._engine = None  # late cancels must not decrement again
+            count = entry.event_count
+            self._pending -= count
+            fired = entry._fire()
+            self._processed += fired
+            return fired
+        return 0
 
     def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the event queue is empty.
@@ -169,7 +287,8 @@ class SimulationEngine:
         ``until`` stops the clock once the next event would fire strictly
         after that time (the clock is advanced to ``until``).  ``max_events``
         bounds the number of callbacks fired, as a safety valve against
-        runaway self-rescheduling.
+        runaway self-rescheduling (a batched entry fires atomically, so the
+        bound may be overshot by the tail of one batch).
         """
         fired = 0
         while self._heap:
@@ -182,8 +301,7 @@ class SimulationEngine:
             if until is not None and entry.time > until:
                 self._now = max(self._now, until)
                 return
-            self.step()
-            fired += 1
+            fired += self.step()
         if until is not None:
             self._now = max(self._now, until)
 

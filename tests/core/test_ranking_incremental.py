@@ -1,0 +1,267 @@
+"""Property-based proof: resident ranking == full rebuild, bit for bit.
+
+The tentpole optimisation keeps a policy-sorted candidate order resident
+across requests (:mod:`repro.middleware.ranking`), repositioning only the
+servers whose estimation vectors were invalidated.  Its whole correctness
+story is one sentence: after *any* interleaving of node transitions, queue
+mutations and power observations, serving the resident order must be
+indistinguishable from rebuilding and re-sorting the candidate list from
+scratch.  These tests make hypothesis hunt for a counter-example over
+hundreds of generated transition streams, comparing server order *and*
+rank keys exactly (no tolerance) — any drift between the incremental and
+the rebuilt order is a bug, not noise.
+
+A second property closes the loop end to end: a full
+:class:`~repro.middleware.driver.MiddlewareSimulation` with the resident
+ranking enabled produces byte-identical metrics to one with the knob
+forced off (per-request tree walk).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.policies import policy_by_name
+from repro.infrastructure.node import Node, NodeState
+from repro.infrastructure.platform import grid5000_placement_platform
+from repro.middleware.agents import MasterAgent, build_flat_hierarchy
+from repro.middleware.driver import MiddlewareSimulation
+from repro.middleware.hierarchy import build_hierarchy
+from repro.middleware.plugin_scheduler import CandidateEntry
+from repro.middleware.ranking import ResidentRanking
+from repro.middleware.requests import ServiceRequest
+from repro.middleware.sed import ServerDaemon, default_estimation_function
+from repro.simulation.task import Task
+from tests.conftest import make_spec
+
+#: Policies exposing a request-independent ``rank_key`` (the resident set).
+RANKED_POLICIES = ("POWER", "PERFORMANCE", "GREENPERF")
+
+#: Transition vocabulary; each op is guarded so illegal transitions are
+#: skipped rather than raising (hypothesis explores the legal subspace).
+OPS = (
+    "enqueue",
+    "start",
+    "complete",
+    "record_power",
+    "power_off",
+    "boot",
+    "boot_done",
+    "fail",
+    "repair",
+)
+
+op_strategy = st.tuples(
+    st.sampled_from(OPS),
+    st.integers(min_value=0, max_value=63),          # node selector (mod n)
+    st.floats(min_value=1.0, max_value=1e3),         # magnitude knob
+)
+
+
+def _make_seds(count: int) -> list[ServerDaemon]:
+    """A heterogeneous fleet: no two nodes share a rank key by accident."""
+    seds = []
+    for index in range(count):
+        spec = make_spec(
+            name=f"node-{index}",
+            cluster=f"cluster-{index % 2}",
+            cores=2 + index % 3,
+            flops_per_core=1.0e9 * (1 + index),
+            idle_power=80.0 + 11.0 * index,
+            peak_power=150.0 + 37.0 * index,
+        )
+        seds.append(ServerDaemon(Node(spec)))
+    return seds
+
+
+def _apply(op: str, sed: ServerDaemon, magnitude: float, running: list[Task]) -> None:
+    """Apply one transition if it is legal in the current state."""
+    node = sed.node
+    if op == "enqueue":
+        sed.queue.enqueue(Task(flop=magnitude * 1e9))
+    elif op == "start":
+        if node.state is NodeState.ON and node.free_cores > 0:
+            task = sed.queue.pop_next()
+            if task is not None:
+                node.acquire_core()
+                sed.queue.mark_running(task)
+                running.append(task)
+    elif op == "complete":
+        if running:
+            task = running.pop()
+            sed.queue.mark_completed(task)
+            node.release_core(busy_seconds=magnitude)
+    elif op == "record_power":
+        sed.record_request_power(magnitude, magnitude * 10.0)
+    elif op == "power_off":
+        if node.state is NodeState.ON and node.busy_cores == 0:
+            node.power_off()
+    elif op == "boot":
+        if node.state is NodeState.OFF:
+            node.begin_boot(0.0)
+    elif op == "boot_done":
+        if node.state is NodeState.BOOTING:
+            node.complete_boot()
+    elif op == "fail":
+        if node.state is not NodeState.FAILED and not running:
+            node.fail()
+    elif op == "repair":
+        if node.state is NodeState.FAILED:
+            node.repair()
+    else:  # pragma: no cover - vocabulary drift guard
+        raise AssertionError(f"unknown op {op!r}")
+
+
+def _full_rebuild(policy, seds, request):
+    """The reference: re-estimate everything and sort from scratch."""
+    entries = []
+    for sed in seds:
+        if not sed.can_solve(request.service):
+            continue
+        vector = sed.estimate(request)
+        if not vector.available:
+            continue
+        entries.append(CandidateEntry.from_vector(vector))
+    return policy.sort(request, entries)
+
+
+def _request() -> ServiceRequest:
+    return ServiceRequest.from_task(Task(flop=4.0e9))
+
+
+class TestIncrementalEqualsRebuild:
+    @settings(
+        max_examples=250,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        policy_name=st.sampled_from(RANKED_POLICIES),
+        node_count=st.integers(min_value=2, max_value=6),
+        ops=st.lists(op_strategy, min_size=1, max_size=30),
+    )
+    def test_resident_order_matches_full_rebuild(self, policy_name, node_count, ops):
+        """After every transition, resident order == rebuilt order, exactly."""
+        policy = policy_by_name(policy_name)
+        seds = _make_seds(node_count)
+        running: dict[str, list[Task]] = {sed.name: [] for sed in seds}
+        ranking = ResidentRanking(policy, seds)
+        request = _request()
+        for op, selector, magnitude in ops:
+            sed = seds[selector % node_count]
+            _apply(op, sed, magnitude, running[sed.name])
+            resident = ranking.candidates(request)
+            reference = _full_rebuild(policy, seds, request)
+            assert resident is not None
+            assert [e.server for e in resident] == [e.server for e in reference]
+            # Bit-for-bit: the rank keys are tuples of raw floats.
+            assert [policy.rank_key(e) for e in resident] == [
+                policy.rank_key(e) for e in reference
+            ]
+            assert ranking.insort_check()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        policy_name=st.sampled_from(RANKED_POLICIES),
+        ops=st.lists(op_strategy, min_size=1, max_size=15),
+    )
+    def test_master_agent_serves_resident_order(self, policy_name, ops):
+        """The MasterAgent election equals the tree walk under transitions."""
+        policy = policy_by_name(policy_name)
+        seds = _make_seds(4)
+        running: dict[str, list[Task]] = {sed.name: [] for sed in seds}
+        master = build_flat_hierarchy(seds, scheduler=policy)
+        baseline = build_flat_hierarchy(seds, scheduler=policy)
+        baseline.use_resident_ranking = False
+        for op, selector, magnitude in ops:
+            sed = seds[selector % 4]
+            _apply(op, sed, magnitude, running[sed.name])
+            request = _request()
+            fast = master.submit(request)
+            slow = baseline.submit(request)
+            assert fast.elected == slow.elected
+            assert [v.server for v in fast.ranked_candidates] == [
+                v.server for v in slow.ranked_candidates
+            ]
+        assert isinstance(master._ranking, ResidentRanking)
+
+
+class TestFallbacks:
+    def test_custom_estimation_function_retires_the_ranking(self):
+        """A SeD losing its default estimation function forces the tree walk."""
+        seds = _make_seds(3)
+        master = build_flat_hierarchy(seds, scheduler=policy_by_name("POWER"))
+        first = master.submit(_request())
+        assert isinstance(master._ranking, ResidentRanking)
+        # Same vectors, but now "request-dependent" as far as the cache knows.
+        seds[1].set_estimation_function(default_estimation_function)
+        second = master.submit(_request())
+        assert master._ranking is MasterAgent._RANKING_UNSUPPORTED
+        assert first.elected is not None and second.elected is not None
+
+    def test_policies_without_rank_key_use_the_tree_walk(self):
+        seds = _make_seds(3)
+        master = build_flat_hierarchy(seds, scheduler=policy_by_name("RANDOM", seed=7))
+        outcome = master.submit(_request())
+        assert outcome.elected is not None
+        assert master._ranking is MasterAgent._RANKING_UNSUPPORTED
+
+    def test_mixed_services_filter_the_resident_order(self):
+        nodes = [Node(make_spec(name=f"svc-{i}", flops_per_core=1e9 * (i + 1))) for i in range(3)]
+        seds = [
+            ServerDaemon(nodes[0], services=("cpu-burn",)),
+            ServerDaemon(nodes[1], services=("cpu-burn", "matmul")),
+            ServerDaemon(nodes[2], services=("matmul",)),
+        ]
+        policy = policy_by_name("PERFORMANCE")
+        ranking = ResidentRanking(policy, seds)
+        burn = ranking.candidates(ServiceRequest.from_task(Task(service="cpu-burn")))
+        matmul = ranking.candidates(ServiceRequest.from_task(Task(service="matmul")))
+        assert {e.server for e in burn} == {"svc-0", "svc-1"}
+        assert {e.server for e in matmul} == {"svc-1", "svc-2"}
+
+
+class TestEndToEndEquivalence:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        policy_name=st.sampled_from(RANKED_POLICIES),
+        rows=st.lists(
+            st.tuples(
+                st.floats(min_value=1e9, max_value=1e11),   # flop
+                st.floats(min_value=0.0, max_value=120.0),  # arrival
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_simulation_metrics_identical_with_ranking_on_and_off(
+        self, policy_name, rows
+    ):
+        """Resident-on and resident-off full simulations agree exactly."""
+        results = []
+        for use_ranking in (True, False):
+            platform = grid5000_placement_platform(nodes_per_cluster=1)
+            master, seds = build_hierarchy(
+                platform, scheduler=policy_by_name(policy_name)
+            )
+            master.use_resident_ranking = use_ranking
+            simulation = MiddlewareSimulation(
+                platform, master, seds, sample_period=10.0
+            )
+            simulation.submit_workload(
+                [Task(flop=flop, arrival_time=arrival) for flop, arrival in rows]
+            )
+            result = simulation.run()
+            # Task ids are globally auto-assigned, so compare the placement
+            # sequence (submission order is deterministic), not the ids.
+            placements = tuple(e.node for e in simulation.metrics.executions)
+            results.append(
+                (result.metrics.makespan, result.total_energy, placements)
+            )
+            if use_ranking:
+                assert isinstance(master._ranking, ResidentRanking)
+        assert results[0] == results[1]

@@ -357,3 +357,41 @@ class TestProfiledRuns:
             r.metrics for r in parallel.results
         ]
         assert all(t > 0.0 for t in parallel.wall_times)
+
+    def test_profile_records_phase_times(self):
+        outcome = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+            profile=True,
+        )
+        assert len(outcome.phase_times) == 1
+        totals = outcome.phase_times[0]
+        # A middleware-backed scenario exercises all four cost centres.
+        for phase in ("estimation", "scoring", "dispatch", "energy"):
+            assert totals.get(phase, 0.0) >= 0.0
+        assert totals["dispatch"] > 0.0
+
+    def test_unprofiled_runs_carry_no_phase_times(self):
+        outcome = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+        )
+        assert outcome.phase_times == ()
+
+    def test_profile_format_includes_phase_columns(self):
+        from repro.runner.reporting import format_sweep_profile
+
+        outcome = run_sweep(TINY_GRID, profile=True)
+        report = format_sweep_profile(outcome)
+        assert "dispatch s" in report
+        assert "phase breakdown:" in report
+
+    def test_phase_times_stay_out_of_scenario_metrics(self):
+        """Profiling is a side-channel: metrics must stay byte-identical."""
+        profiled = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+            profile=True,
+        )
+        plain = run_scenarios(
+            (ScenarioSpec(experiment="placement", platform="tiny", workload="tiny"),),
+        )
+        assert profiled.results[0].metrics == plain.results[0].metrics
+        assert "estimation" not in profiled.results[0].metrics

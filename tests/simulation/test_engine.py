@@ -182,3 +182,109 @@ class TestClockMonotonicity:
         engine.run()
         assert observed == sorted(observed)
         assert len(observed) == len(times)
+
+
+class TestPendingCounter:
+    """``pending_events`` counts live events only (cancelled ones drop out)."""
+
+    def test_cancel_decrements_immediately(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 2
+        handle.cancel()
+        assert engine.pending_events == 1
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events == 0
+
+    def test_pending_reaches_zero_after_run(self):
+        engine = SimulationEngine()
+        for time in (1.0, 2.0, 3.0):
+            engine.schedule(time, lambda: None)
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.processed_events == 3
+
+    def test_cancel_after_fire_does_not_double_count(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.step()
+        assert engine.pending_events == 1
+        handle.cancel()  # already fired: must not decrement again
+        assert engine.pending_events == 1
+
+    def test_events_scheduled_by_callbacks_are_counted(self):
+        engine = SimulationEngine()
+
+        def spawn():
+            engine.schedule(5.0, lambda: None)
+
+        engine.schedule(1.0, spawn)
+        engine.step()
+        assert engine.pending_events == 1
+
+
+class TestBatchedEvents:
+    """``schedule_many`` fires one heap entry as N logical events."""
+
+    def test_each_item_counts_as_one_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_many(1.0, fired.append, [1, 2, 3])
+        assert engine.pending_events == 3
+        engine.run()
+        assert fired == [1, 2, 3]
+        assert engine.processed_events == 3
+        assert engine.pending_events == 0
+
+    def test_empty_batch_is_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_many(1.0, lambda item: None, [])
+
+    def test_cancel_removes_every_item(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule_many(1.0, fired.append, ["a", "b"])
+        handle.cancel()
+        assert engine.pending_events == 0
+        engine.run()
+        assert fired == []
+        assert engine.processed_events == 0
+
+    def test_step_reports_batch_size(self):
+        engine = SimulationEngine()
+        engine.schedule_many(1.0, lambda item: None, range(4))
+        assert engine.step() == 4
+
+    def test_batch_preserves_fifo_against_single_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("single"))
+        engine.schedule_many(1.0, fired.append, ["b1", "b2"])
+        engine.run()
+        assert fired == ["single", "b1", "b2"]
+
+    def test_priority_still_preempts_a_batch(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_many(1.0, fired.append, ["b1", "b2"])
+        engine.schedule(1.0, lambda: fired.append("urgent"), priority=-1)
+        engine.run()
+        assert fired == ["urgent", "b1", "b2"]
+
+    def test_max_events_may_overshoot_by_a_batch_tail(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_many(1.0, fired.append, [1, 2, 3])
+        engine.schedule(2.0, lambda: fired.append("later"))
+        engine.run(max_events=2)
+        # The batch fires atomically: all three items, then the loop stops.
+        assert fired == [1, 2, 3]
+        assert engine.processed_events == 3

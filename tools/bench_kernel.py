@@ -27,11 +27,27 @@ hammered by the replay client at pipelining windows 1, 8 and 64, and
 reports sustained requests/sec per window (written to
 ``BENCH_serve.json``).
 
+A ``--scaling`` mode measures the kernel scaling frontier instead: a
+nodes × tasks grid (up to 500 × 100,000, plus a 5,000-node point) run
+once with the resident incremental ranking and once with the knob forced
+off (``master.use_resident_ranking = False`` — the seed's per-request
+tree walk).  The seed path is measured at a reduced task count and
+extrapolated linearly in tasks (its per-event cost is independent of the
+task count: every election walks all nodes), which is what makes the
+100k-task points affordable to baseline.  Per-phase wall-time breakdowns
+(estimation / scoring / dispatch / energy) ride along in every point.
+Results go to ``BENCH_scaling.json``; with ``--quick --baseline FILE``
+the run doubles as a CI regression guard, failing when any grid point
+drops more than 30% below the committed quick figures.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_kernel.py            # full scenario
     PYTHONPATH=src python tools/bench_kernel.py --quick    # CI smoke run
     PYTHONPATH=src python tools/bench_kernel.py --serve    # daemon throughput
+    PYTHONPATH=src python tools/bench_kernel.py --scaling  # scaling frontier
+    PYTHONPATH=src python tools/bench_kernel.py --scaling --quick \
+        --baseline BENCH_scaling.json                      # CI guard
 """
 
 from __future__ import annotations
@@ -226,6 +242,170 @@ def run_combined(scenario: dict) -> dict:
     }
 
 
+#: The scaling frontier: nodes × tasks, including the ISSUE's 500 × 100k
+#: target point and a 5,000-node breadth point.
+SCALING_GRID = (
+    (50, 10_000),
+    (100, 20_000),
+    (200, 50_000),
+    (500, 100_000),
+    (5_000, 20_000),
+)
+QUICK_SCALING_GRID = ((25, 2_000), (50, 5_000))
+
+#: Task counts at which the seed (tree-walk) baseline is actually run;
+#: larger points extrapolate linearly in tasks from these.
+BASELINE_TASKS = 2_000
+QUICK_BASELINE_TASKS = 500
+
+#: CI regression guard: fail when a quick point's events/s falls below
+#: this fraction of the committed figure.
+SCALING_GUARD_FLOOR = 0.70
+
+
+def scaling_horizon(nodes: int, tasks: int) -> float:
+    """Horizon keeping per-node arrival pressure equal to the 50 × 10k case."""
+    reference = FULL_SCENARIO
+    return (
+        reference["horizon_s"]
+        * (tasks / reference["tasks"])
+        * (reference["nodes"] / nodes)
+    )
+
+
+def run_scaling_point(nodes: int, tasks: int, *, resident: bool) -> dict:
+    """One grid point, in-process: POWER policy, quantized accounting.
+
+    ``resident=False`` forces the per-request hierarchy walk — the seed's
+    election path — via the Master Agent's knob, so both runs share every
+    other code path bit for bit.
+    """
+    from repro.core.policies import PowerPolicy
+    from repro.middleware.driver import MiddlewareSimulation
+    from repro.middleware.hierarchy import build_hierarchy
+    from repro.util import phases
+
+    horizon = scaling_horizon(nodes, tasks)
+    platform = build_platform(nodes)
+    master, seds = build_hierarchy(platform, scheduler=PowerPolicy())
+    master.use_resident_ranking = resident
+    timer = phases.activate(phases.PhaseTimer())
+    try:
+        simulation = MiddlewareSimulation(
+            platform,
+            master,
+            seds,
+            sample_period=1.0,
+            policy_name="POWER",
+            energy_mode="quantized",
+            trace_level="off",
+        )
+        workload = build_tasks(tasks, horizon)
+        started = time.perf_counter()
+        simulation.submit_workload(workload)
+        result = simulation.run()
+        wall = time.perf_counter() - started
+    finally:
+        phases.deactivate()
+
+    ranking = getattr(master, "_ranking", None)
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes, Linux kilobytes
+        peak_rss_kb //= 1024
+    return {
+        "nodes": nodes,
+        "tasks": tasks,
+        "horizon_s": round(horizon, 1),
+        "resident_requested": resident,
+        "resident_active": type(ranking).__name__ == "ResidentRanking",
+        "wall_s": round(wall, 3),
+        "events": result.events_processed,
+        "events_per_s": round(result.events_processed / wall) if wall else None,
+        "peak_rss_kb": peak_rss_kb,
+        "completed_tasks": result.metrics.task_count,
+        "total_energy_j": result.total_energy,
+        "phases": {name: round(secs, 3) for name, secs in timer.totals().items()},
+    }
+
+
+def run_scaling_in_subprocess(nodes: int, tasks: int, *, resident: bool) -> dict:
+    """Isolate one scaling point in a child for clean RSS and cold caches."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    spec = f"{nodes}:{tasks}:{'resident' if resident else 'baseline'}"
+    command = [sys.executable, str(Path(__file__).resolve()), "--run-scaling", spec]
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, check=False
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"scaling subprocess for {spec!r} failed:\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout)
+
+
+def run_scaling_grid(grid, baseline_tasks: int) -> list[dict]:
+    """Run the full grid: resident point + measured/extrapolated baseline."""
+    points = []
+    for nodes, tasks in grid:
+        print(f"scaling {nodes} nodes x {tasks:,} tasks ...", flush=True)
+        resident = run_scaling_in_subprocess(nodes, tasks, resident=True)
+        base_tasks = min(tasks, baseline_tasks)
+        baseline = run_scaling_in_subprocess(nodes, base_tasks, resident=False)
+        # The tree walk costs O(nodes) per event regardless of task count,
+        # so its events/s at the full task count equals the measured
+        # small-run figure (wall time extrapolates linearly in tasks).
+        seed_events_per_s = baseline["events_per_s"]
+        speedup = (
+            round(resident["events_per_s"] / seed_events_per_s, 2)
+            if seed_events_per_s
+            else None
+        )
+        point = {
+            "nodes": nodes,
+            "tasks": tasks,
+            "horizon_s": resident["horizon_s"],
+            "resident": resident,
+            "baseline": baseline,
+            "baseline_extrapolated": base_tasks < tasks,
+            "seed_events_per_s": seed_events_per_s,
+            "speedup_vs_seed": speedup,
+        }
+        points.append(point)
+        print(
+            f"  resident {resident['events_per_s']:>10,} events/s   "
+            f"seed {seed_events_per_s:>10,} events/s"
+            f"{' (extrapolated)' if point['baseline_extrapolated'] else ''}   "
+            f"speedup {speedup}x",
+            flush=True,
+        )
+    return points
+
+
+def check_scaling_baseline(points: list[dict], baseline_path: Path) -> list[str]:
+    """Regression guard: compare quick points against the committed file."""
+    committed = json.loads(baseline_path.read_text())
+    reference = committed.get("quick", committed).get("points", [])
+    by_key = {(p["nodes"], p["tasks"]): p for p in reference}
+    failures = []
+    for point in points:
+        ref = by_key.get((point["nodes"], point["tasks"]))
+        if ref is None:
+            continue
+        floor = ref["resident"]["events_per_s"] * SCALING_GUARD_FLOOR
+        measured = point["resident"]["events_per_s"]
+        if measured < floor:
+            failures.append(
+                f"{point['nodes']} nodes x {point['tasks']:,} tasks: "
+                f"{measured:,} events/s < {floor:,.0f} "
+                f"({SCALING_GUARD_FLOOR:.0%} of committed "
+                f"{ref['resident']['events_per_s']:,})"
+            )
+    return failures
+
+
 #: Pipelining windows the serve benchmark sweeps (in-flight requests per
 #: connection — the daemon's micro-batches grow with the window).
 SERVE_WINDOWS = (1, 8, 64)
@@ -362,9 +542,26 @@ def main(argv=None) -> int:
         help=f"comma-separated subset of {ALL_CASES} (default: all)",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="benchmark the nodes x tasks scaling frontier (resident ranking "
+        "vs the seed tree walk); writes BENCH_scaling.json",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="with --scaling: committed BENCH_scaling.json to guard against; "
+        f"fails when any point drops below {SCALING_GUARD_FLOOR:.0%} of it",
+    )
+    parser.add_argument(
         "--run-mode",
         default=None,
         help=argparse.SUPPRESS,  # internal: child-process entry point
+    )
+    parser.add_argument(
+        "--run-scaling",
+        default=None,
+        help=argparse.SUPPRESS,  # internal: "nodes:tasks:resident|baseline"
     )
     args = parser.parse_args(argv)
 
@@ -389,6 +586,53 @@ def main(argv=None) -> int:
         out_path = Path(args.out or REPO_ROOT / "BENCH_serve.json")
         out_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out_path}")
+        return 0
+
+    if args.run_scaling:
+        if sys.path[0] != str(SRC):
+            sys.path.insert(0, str(SRC))
+        nodes, tasks, variant = args.run_scaling.split(":")
+        point = run_scaling_point(
+            int(nodes), int(tasks), resident=variant == "resident"
+        )
+        print(json.dumps(point))
+        return 0
+
+    if args.scaling:
+        grid = QUICK_SCALING_GRID if args.quick else SCALING_GRID
+        baseline_tasks = QUICK_BASELINE_TASKS if args.quick else BASELINE_TASKS
+        report = {
+            "scenario": {
+                "task_flop": TASK_FLOP,
+                "policy": "POWER",
+                "energy_mode": "quantized",
+                "baseline_tasks": baseline_tasks,
+                "quick": args.quick,
+            },
+            "points": run_scaling_grid(grid, baseline_tasks),
+        }
+        if not args.quick:
+            # The quick grid rides along in the committed file: it is the
+            # stable reference the CI guard compares its own quick run to.
+            print("scaling quick reference grid ...", flush=True)
+            report["quick"] = {
+                "baseline_tasks": QUICK_BASELINE_TASKS,
+                "points": run_scaling_grid(
+                    QUICK_SCALING_GRID, QUICK_BASELINE_TASKS
+                ),
+            }
+        out_path = Path(args.out or REPO_ROOT / "BENCH_scaling.json")
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+        if args.baseline:
+            failures = check_scaling_baseline(
+                report["points"], Path(args.baseline)
+            )
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print("scaling guard: no regression vs", args.baseline)
         return 0
 
     if args.run_mode:
