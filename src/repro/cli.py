@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     repro table1                 # the experimental infrastructure
     repro table3                 # the simulated cluster specs
     repro sweep                  # parallel scenario sweep with cached store
+    repro store verify ...       # check a result store for corruption
+    repro store migrate ...      # shard a legacy single-file store
     repro lab run ...            # one ad-hoc component composition
     repro trace convert ...      # real SWF log -> replayable CSV trace
     repro trace stats ...        # workload statistics of a trace
@@ -32,10 +34,21 @@ base random seed of any stochastic component.
 
 ``repro sweep`` runs a named scenario grid through the sweep runner:
 ``--jobs`` fans scenarios out over worker processes, ``--store`` caches
-results in a JSONL file (a second run over the same grid is served
-entirely from cache), ``--force`` bypasses the cache, ``--filter``
-restricts the grid to scenarios whose id contains a substring, and
-``--profile`` appends a per-scenario wall-time / events-per-second table.
+results — in a single JSONL file (``results.jsonl``) or, for any other
+path, a crash-safe sharded store *directory* (per-hash-prefix shard
+files; see ``docs/ARCHITECTURE.md``) — so a second run over the same
+grid is served entirely from cache; ``--force`` bypasses the cache,
+``--filter`` restricts the grid to scenarios whose id contains a
+substring, and ``--profile`` appends a per-scenario wall-time /
+events-per-second table.  ``--workers-dir DIR`` turns the invocation
+into one *worker* of a multi-process / multi-host sweep: workers claim
+work shards via lock files in DIR, execute them against the shared
+``--store`` directory, sweep up anything a crashed worker left behind,
+and each exits with the identical grid-order summary.
+
+``repro store`` maintains result stores: ``verify`` parses every record
+(exit 2 on corruption, reporting quarantined torn tails), ``migrate``
+shards a legacy single-file store in place.
 ``repro sweep --trace FILE`` replaces the named grid with a
 platforms × policies grid replaying a trace (the trace content hash
 keys the store, so edits invalidate exactly the affected entries).
@@ -236,6 +249,34 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     if not scenarios:
         return f"grid {grid_name!r}: no scenario matches filter {args.filter!r}"
     printer = SweepProgressPrinter()
+    if args.workers_dir is not None:
+        if args.store is None:
+            raise ValueError(
+                "--workers-dir needs --store DIR: the shared store every "
+                "worker appends to"
+            )
+        if args.force:
+            raise ValueError(
+                "--force is incompatible with --workers-dir (the shared "
+                "store is the source of truth; delete it to re-run)"
+            )
+        if args.profile:
+            raise ValueError("--profile is not supported with --workers-dir")
+        from repro.runner.workers import run_worker
+
+        outcome, worker_report = run_worker(
+            scenarios,
+            store=args.store,
+            workers_dir=args.workers_dir,
+            jobs=args.jobs,
+            worker_id=args.worker_id,
+            progress=printer,
+        )
+        return (
+            worker_report.summary
+            + "\n"
+            + format_sweep_summary(outcome, title=f"Sweep {grid_name!r}")
+        )
     outcome = run_scenarios(
         scenarios,
         jobs=args.jobs,
@@ -248,6 +289,52 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     if args.profile:
         report += "\n" + format_sweep_profile(outcome)
     return report
+
+
+# -- repro store ------------------------------------------------------------------------
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> str:
+    import warnings
+
+    from repro.runner.store import ShardedResultStore, open_store
+
+    path = Path(args.path)
+    if not path.exists():
+        raise ValueError(f"{path}: no store file or directory")
+    store = open_store(path)
+    with warnings.catch_warnings(record=True) as repaired:
+        warnings.simplefilter("always")
+        store.load()
+        count = len(store)  # forces a full parse of every shard
+    lines = [f"{path}: store ok — {count} record(s)"]
+    if isinstance(store, ShardedResultStore):
+        lines.append(
+            f"layout: sharded, {len(store.shard_files())} shard file(s) of "
+            f"{store.shard_count} addressable (prefix_len {store.prefix_len})"
+        )
+    else:
+        lines.append("layout: single-file JSONL")
+    lines.append(f"quarantined: {store.quarantined()}")
+    if repaired:
+        lines.append(f"torn tails repaired on this open: {len(repaired)}")
+    return "\n".join(lines)
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> str:
+    from repro.runner.store import ShardedResultStore
+
+    path = Path(args.path)
+    if path.is_dir():
+        return f"{path}: already a sharded store directory"
+    if not path.is_file():
+        raise ValueError(f"{path}: no single-file store to migrate")
+    store = ShardedResultStore(path, prefix_len=args.prefix_len).load()
+    return (
+        f"migrated {path} -> sharded store directory "
+        f"({len(store)} record(s), {store.shard_count} addressable shards; "
+        f"original kept as {path.name}.pre-shard.bak)"
+    )
 
 
 # -- repro lab --------------------------------------------------------------------------
@@ -677,7 +764,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         metavar="PATH",
-        help="JSONL result store; already-stored scenarios are not re-simulated",
+        help="result store; already-stored scenarios are not re-simulated "
+        "(a .jsonl path keeps the single-file layout, any other path "
+        "opens a crash-safe sharded store directory)",
+    )
+    sweep.add_argument(
+        "--workers-dir",
+        default=None,
+        metavar="DIR",
+        help="run as one worker of a multi-process/multi-host sweep: claim "
+        "work shards via lock files in DIR and execute them against the "
+        "shared --store directory (rerun anywhere resumes from cache)",
+    )
+    sweep.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="NAME",
+        help="identity recorded in claim files (default: <hostname>-<pid>)",
     )
     sweep.add_argument(
         "--force",
@@ -701,6 +804,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-scenario wall time and events/sec after the summary",
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    store = subparsers.add_parser(
+        "store", help="verify and maintain sweep result stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="parse every record of a store (exit 2 on corruption)",
+        description="Load a result store — single-file JSONL or a sharded "
+        "store directory — parsing every record.  Corrupt interior lines "
+        "exit 2; torn tails left by crashed appends are quarantined and "
+        "reported.",
+    )
+    store_verify.add_argument("path", help="store file or directory")
+    store_verify.set_defaults(handler=_cmd_store_verify)
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="shard a legacy single-file store in place",
+        description="Migrate a single-file JSONL store to the sharded "
+        "directory layout (per-hash-prefix shard files).  The original "
+        "file is kept beside the new directory as <name>.pre-shard.bak.",
+    )
+    store_migrate.add_argument("path", help="single-file store to migrate")
+    store_migrate.add_argument(
+        "--prefix-len",
+        type=int,
+        default=1,
+        help="hex digits of the scenario hash naming a shard "
+        "(default: 1 = 16 shards)",
+    )
+    store_migrate.set_defaults(handler=_cmd_store_migrate)
 
     lab = subparsers.add_parser(
         "lab", help="compose and run ad-hoc experiments through repro.lab"

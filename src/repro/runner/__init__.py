@@ -7,9 +7,14 @@ sweeps:
 * :mod:`repro.runner.spec` — frozen :class:`ScenarioSpec` value objects
   with deterministic content hashes, and :class:`SweepSpec` grid expansion;
 * :mod:`repro.runner.executor` — process-pool fan-out with grid-order
-  results (byte-identical aggregation at any ``jobs`` level);
-* :mod:`repro.runner.store` — an append-only JSONL result store keyed by
-  scenario hash (cache hit ⇒ no simulation) plus percentile aggregation;
+  results (byte-identical aggregation at any ``jobs`` level), streaming
+  grid consumption with a bounded in-flight window;
+* :mod:`repro.runner.store` — crash-safe JSONL result stores keyed by
+  scenario hash (cache hit ⇒ no simulation): the single-file
+  :class:`ResultStore` and the per-hash-prefix
+  :class:`ShardedResultStore` directory, plus percentile aggregation;
+* :mod:`repro.runner.workers` — resumable multi-worker sweeps sharing a
+  store directory, claiming work shards via lock files;
 * :mod:`repro.runner.reporting` — deterministic progress and comparison
   tables;
 * :mod:`repro.runner.grids` — the named grids behind ``repro sweep``.
@@ -23,20 +28,38 @@ from repro.runner.executor import (
 )
 from repro.runner.grids import grid, named_grids, trace_grid
 from repro.runner.reporting import SweepProgressPrinter, format_sweep_summary
-from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid, trace_file_hash
-from repro.runner.store import ResultStore, ScenarioResult, summarize
+from repro.runner.spec import (
+    ScenarioSpec,
+    SweepSpec,
+    expand_grid,
+    iter_grid,
+    trace_file_hash,
+)
+from repro.runner.store import (
+    ResultStore,
+    ScenarioResult,
+    ShardedResultStore,
+    open_store,
+    summarize,
+)
+from repro.runner.workers import WorkerReport, run_worker
 
 __all__ = [
     "ScenarioSpec",
     "SweepSpec",
     "expand_grid",
+    "iter_grid",
     "ScenarioResult",
     "ResultStore",
+    "ShardedResultStore",
+    "open_store",
     "summarize",
     "SweepOutcome",
     "execute_scenario",
     "run_scenarios",
     "run_sweep",
+    "WorkerReport",
+    "run_worker",
     "SweepProgressPrinter",
     "format_sweep_summary",
     "grid",

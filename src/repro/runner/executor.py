@@ -8,13 +8,21 @@ experiment family — see :mod:`repro.lab.compat`) and is importable at
 module level, which makes it picklable for
 :class:`concurrent.futures.ProcessPoolExecutor`.
 
-``run_sweep`` adds the orchestration: cache lookup against a
-:class:`~repro.runner.store.ResultStore`, fan-out over ``jobs`` worker
-processes, streaming completion callbacks, and a result tuple returned in
-*grid order* — never completion order — so a 4-worker sweep aggregates to
-byte-identical output as a serial one.  Determinism holds because every
-scenario is a pure function of its spec (all randomness is seeded from
-``spec.seed``); workers share no state.
+``run_scenarios`` adds the orchestration: cache lookup against a result
+store (:class:`~repro.runner.store.ResultStore` or the sharded
+:class:`~repro.runner.store.ShardedResultStore`), fan-out over ``jobs``
+worker processes, streaming completion callbacks, and a result tuple
+returned in *grid order* — never completion order — so a 4-worker sweep
+aggregates to byte-identical output as a serial one.  Determinism holds
+because every scenario is a pure function of its spec (all randomness is
+seeded from ``spec.seed``); workers share no state.
+
+The scenario input may be any iterable, including the lazy
+:func:`~repro.runner.spec.iter_grid` stream: scenarios are consumed with
+a bounded in-flight ``window``, so a 100k-cell cross-product is never
+materialised — generation, cache lookup, execution and storage all
+pipeline.  Only the results themselves are retained (they are the return
+value).
 
 The lab (and, through it, the experiment modules) is imported lazily
 inside ``execute_scenario``: the runner package stays import-light and
@@ -25,18 +33,25 @@ their grids with :mod:`repro.runner.spec`).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Union
 
-from repro.runner.spec import GridLike, ScenarioSpec, expand_grid
-from repro.runner.store import ResultStore, ScenarioResult
+from repro.runner.spec import GridLike, ScenarioSpec, expand_grid, iter_grid
+from repro.runner.store import (
+    AnyResultStore,
+    ResultStore,
+    ScenarioResult,
+    ShardedResultStore,
+    open_store,
+)
 
 #: Callback fired as each scenario completes: ``(grid_index, result, total)``.
-ProgressCallback = Callable[[int, ScenarioResult, int], None]
+#: ``total`` is ``None`` while streaming a grid whose size is unknown.
+ProgressCallback = Callable[[int, ScenarioResult, Optional[int]], None]
 
-StoreLike = Union[ResultStore, str, Path, None]
+StoreLike = Union[AnyResultStore, str, Path, None]
 
 
 def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
@@ -101,12 +116,12 @@ class SweepOutcome:
         return {result.spec.policy: result for result in self.results}
 
 
-def _resolve_store(store: StoreLike) -> ResultStore | None:
+def _resolve_store(store: StoreLike) -> AnyResultStore | None:
     if store is None:
         return None
-    if isinstance(store, ResultStore):
+    if isinstance(store, (ResultStore, ShardedResultStore)):
         return store.load()
-    return ResultStore(store).load()
+    return open_store(store).load()
 
 
 def run_scenarios(
@@ -117,36 +132,39 @@ def run_scenarios(
     force: bool = False,
     progress: Optional[ProgressCallback] = None,
     profile: bool = False,
+    window: int | None = None,
 ) -> SweepOutcome:
-    """Execute a flat scenario sequence, honouring the cache and ``jobs``.
+    """Execute a scenario iterable, honouring the cache and ``jobs``.
 
-    Cache hits are reported first (in grid order); misses are executed —
-    serially for ``jobs <= 1``, otherwise on a process pool — and streamed
-    to ``progress`` and the store as they complete.  The returned
-    ``results`` tuple is always in grid order.  With ``profile=True`` the
-    outcome also carries per-scenario wall times and per-phase seconds
-    (measured inside the worker, so pool scheduling overhead is excluded).
+    ``scenarios`` may be any iterable — a tuple, or a lazy grid stream
+    from :func:`~repro.runner.spec.iter_grid`.  Each scenario is checked
+    against the store as it is generated (a hit is reported without
+    simulating); misses execute serially for ``jobs <= 1``, otherwise on
+    a process pool with at most ``window`` scenarios in flight (default
+    ``max(4 * jobs, 16)``), so even an unbounded generator runs in
+    bounded memory beyond the results themselves.  Completions stream to
+    ``progress`` and the store as they happen, but the returned
+    ``results`` tuple is always in grid order — byte-identical at any
+    ``jobs`` level.  With ``profile=True`` the outcome also carries
+    per-scenario wall times and per-phase seconds (measured inside the
+    worker, so pool scheduling overhead is excluded).
     """
-    scenarios = tuple(scenarios)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if window is None:
+        window = max(4 * jobs, 16)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
     resolved_store = _resolve_store(store)
-    total = len(scenarios)
-    results: list[ScenarioResult | None] = [None] * total
-    wall_times: list[float] = [0.0] * total
-    phase_times: list[dict[str, float]] = [{} for _ in range(total)]
+    try:
+        total_known: int | None = len(scenarios)
+    except TypeError:
+        total_known = None  # streaming input: size unknown until exhausted
 
-    pending: list[int] = []
-    for index, scenario in enumerate(scenarios):
-        hit = None
-        if resolved_store is not None and not force:
-            hit = resolved_store.get(scenario.content_hash())
-        if hit is not None:
-            results[index] = hit
-            if progress is not None:
-                progress(index, hit, total)
-        else:
-            pending.append(index)
+    results: dict[int, ScenarioResult] = {}
+    wall_times: dict[int, float] = {}
+    phase_times: dict[int, dict[str, float]] = {}
+    executed = 0
 
     def _complete(
         index: int,
@@ -155,42 +173,62 @@ def run_scenarios(
         phases: dict[str, float] | None = None,
     ) -> None:
         results[index] = result
-        wall_times[index] = elapsed
-        if phases:
-            phase_times[index] = phases
-        if resolved_store is not None:
+        if profile:
+            wall_times[index] = elapsed
+            if phases:
+                phase_times[index] = phases
+        if resolved_store is not None and not result.cached:
             resolved_store.put(result)
         if progress is not None:
-            progress(index, result, total)
+            progress(index, result, total_known)
 
     worker = execute_scenario_timed if profile else execute_scenario
-    if pending:
-        if jobs == 1 or len(pending) == 1:
-            for index in pending:
-                outcome = worker(scenarios[index])
+    pool: ProcessPoolExecutor | None = None
+    in_flight: dict[Future, int] = {}
+    total = 0
+
+    def _drain() -> None:
+        done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+        for future in done:
+            index = in_flight.pop(future)
+            if profile:
+                _complete(index, *future.result())
+            else:
+                _complete(index, future.result())
+
+    try:
+        for index, scenario in enumerate(scenarios):
+            total = index + 1
+            hit = None
+            if resolved_store is not None and not force:
+                hit = resolved_store.get(scenario.content_hash())
+            if hit is not None:
+                _complete(index, hit)
+                continue
+            executed += 1
+            if jobs == 1:
                 if profile:
-                    _complete(index, *outcome)
+                    _complete(index, *worker(scenario))
                 else:
-                    _complete(index, outcome)
-        else:
-            workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(worker, scenarios[index]): index
-                    for index in pending
-                }
-                for future in as_completed(futures):
-                    if profile:
-                        _complete(futures[future], *future.result())
-                    else:
-                        _complete(futures[future], future.result())
+                    _complete(index, worker(scenario))
+            else:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+                while len(in_flight) >= window:
+                    _drain()
+                in_flight[pool.submit(worker, scenario)] = index
+        while in_flight:
+            _drain()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     return SweepOutcome(
-        results=tuple(results),  # type: ignore[arg-type]
-        executed=len(pending),
-        cached=total - len(pending),
-        wall_times=tuple(wall_times) if profile else (),
-        phase_times=tuple(phase_times) if profile else (),
+        results=tuple(results[index] for index in range(total)),
+        executed=executed,
+        cached=total - executed,
+        wall_times=tuple(wall_times.get(i, 0.0) for i in range(total)) if profile else (),
+        phase_times=tuple(phase_times.get(i, {}) for i in range(total)) if profile else (),
     )
 
 
@@ -203,16 +241,28 @@ def run_sweep(
     filter: str | None = None,
     progress: Optional[ProgressCallback] = None,
     profile: bool = False,
+    stream: bool = False,
+    window: int | None = None,
 ) -> SweepOutcome:
     """Expand a sweep/grid and execute it (see :func:`run_scenarios`).
 
     ``filter`` keeps only scenarios whose ``scenario_id`` contains the
     given substring — handy for re-running one slice of a large grid.
+    ``stream=True`` feeds the grid through the lazy
+    :func:`~repro.runner.spec.iter_grid` instead of materialising it:
+    required for 100k-scenario cross-products, at the price of progress
+    callbacks not knowing the total up front.
     """
-    scenarios = expand_grid(sweep)
-    if filter:
-        scenarios = tuple(s for s in scenarios if filter in s.scenario_id)
+    if stream:
+        scenarios = iter_grid(sweep)
+        if filter:
+            scenarios = (s for s in scenarios if filter in s.scenario_id)
+    else:
+        expanded = expand_grid(sweep)
+        if filter:
+            expanded = tuple(s for s in expanded if filter in s.scenario_id)
+        scenarios = expanded
     return run_scenarios(
         scenarios, jobs=jobs, store=store, force=force, progress=progress,
-        profile=profile,
+        profile=profile, window=window,
     )

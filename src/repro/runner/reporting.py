@@ -29,7 +29,9 @@ class SweepProgressPrinter:
 
     Out-of-order completions are buffered until every earlier scenario has
     completed, which keeps the output deterministic under any worker
-    scheduling.
+    scheduling.  A streaming sweep whose total is unknown up front
+    (``run_sweep(stream=True)``, multi-worker claim passes) prints ``?``
+    in place of ``N``.
     """
 
     def __init__(self, stream: TextIO | None = None) -> None:
@@ -37,13 +39,15 @@ class SweepProgressPrinter:
         self._buffered: dict[int, ScenarioResult] = {}
         self._next_index = 0
 
-    def __call__(self, index: int, result: ScenarioResult, total: int) -> None:
+    def __call__(self, index: int, result: ScenarioResult, total: int | None) -> None:
         self._buffered[index] = result
         while self._next_index in self._buffered:
             flushed = self._buffered.pop(self._next_index)
             status = "hit" if flushed.cached else "run"
+            denominator = "?" if total is None else f"{total}"
             print(
-                f"[{self._next_index + 1:>3}/{total}] {status}  {flushed.spec.scenario_id}",
+                f"[{self._next_index + 1:>3}/{denominator}] {status}  "
+                f"{flushed.spec.scenario_id}",
                 file=self._stream,
             )
             self._next_index += 1

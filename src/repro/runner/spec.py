@@ -19,7 +19,7 @@ import itertools
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Iterable, Iterator, Mapping, Union
 
 #: Bump when the meaning of a spec field changes — including edits to the
 #: preset tables a spec refers to by *name* (platform/workload presets in
@@ -346,48 +346,67 @@ class SweepSpec:
 
     @property
     def size(self) -> int:
-        """Number of scenarios the sweep expands to."""
+        """Number of scenarios the sweep expands to (without expanding).
+
+        >>> SweepSpec(ScenarioSpec(), {"seed": range(1000), "preference": (0.0, 1.0)}).size
+        2000
+        """
         total = 1
         for _, values in self.axes:
             total *= len(values)
         return total
 
-    def expand(self) -> tuple[ScenarioSpec, ...]:
-        """All scenarios of the grid, in deterministic cartesian order."""
+    def iter_expand(self) -> Iterator[ScenarioSpec]:
+        """Yield the grid's scenarios lazily, in deterministic cartesian order.
+
+        The streaming form of :meth:`expand`: a 100k-cell cross-product
+        never materialises — each cell is built (and can be executed,
+        stored and discarded) as the consumer reaches it.
+
+        >>> import itertools
+        >>> sweep = SweepSpec(ScenarioSpec(policy="RANDOM"), {"seed": range(100_000)})
+        >>> [s.seed for s in itertools.islice(sweep.iter_expand(), 3)]
+        [0, 1, 2]
+        """
         if not self.axes:
-            return (self.base,)
+            yield self.base
+            return
         names = [name for name, _ in self.axes]
         value_lists = [values for _, values in self.axes]
-        scenarios = []
         for combo in itertools.product(*value_lists):
-            scenarios.append(self.base.replace(**dict(zip(names, combo))))
-        return tuple(scenarios)
+            yield self.base.replace(**dict(zip(names, combo)))
+
+    def expand(self) -> tuple[ScenarioSpec, ...]:
+        """All scenarios of the grid, in deterministic cartesian order."""
+        return tuple(self.iter_expand())
 
 
 GridLike = Union[ScenarioSpec, SweepSpec, Iterable[Union[ScenarioSpec, SweepSpec]]]
 
 
-def expand_grid(grid: GridLike) -> tuple[ScenarioSpec, ...]:
-    """Expand sweeps/specs into a flat, duplicate-free scenario tuple.
+def iter_grid(grid: GridLike) -> Iterator[ScenarioSpec]:
+    """Stream a grid as a flat, duplicate-free scenario iterator.
 
-    Accepts a single :class:`ScenarioSpec`, a single :class:`SweepSpec`, or
-    any iterable mixing both.  Duplicates (same content hash) keep their
-    first occurrence, so composed grids stay stable under re-ordering of
-    later sweeps.
+    The lazy form of :func:`expand_grid` — same composition rules, same
+    canonical order, but the cross-product is generated cell by cell, so
+    a 100k-scenario sweep starts executing immediately and never holds
+    the whole grid in memory (only the seen-hash set, ~64 bytes per
+    scenario, is retained for deduplication).
 
-    >>> base = ScenarioSpec(policy="POWER")
-    >>> grid = expand_grid((base, SweepSpec(base, {"policy": ("POWER", "RANDOM")})))
-    >>> [spec.policy for spec in grid]  # duplicate POWER collapsed
-    ['POWER', 'RANDOM']
+    >>> import itertools
+    >>> sweep = SweepSpec(ScenarioSpec(policy="RANDOM"), {"seed": range(100_000)})
+    >>> next(iter_grid(sweep)).seed
+    0
+    >>> len(list(itertools.islice(iter_grid(sweep), 5)))
+    5
     """
     if isinstance(grid, (ScenarioSpec, SweepSpec)):
         grid = (grid,)
-    scenarios: list[ScenarioSpec] = []
     seen: set[str] = set()
     for entry in grid:
-        expanded: Sequence[ScenarioSpec]
+        expanded: Iterable[ScenarioSpec]
         if isinstance(entry, SweepSpec):
-            expanded = entry.expand()
+            expanded = entry.iter_expand()
         elif isinstance(entry, ScenarioSpec):
             expanded = (entry,)
         else:
@@ -398,5 +417,21 @@ def expand_grid(grid: GridLike) -> tuple[ScenarioSpec, ...]:
             digest = scenario.content_hash()
             if digest not in seen:
                 seen.add(digest)
-                scenarios.append(scenario)
-    return tuple(scenarios)
+                yield scenario
+
+
+def expand_grid(grid: GridLike) -> tuple[ScenarioSpec, ...]:
+    """Expand sweeps/specs into a flat, duplicate-free scenario tuple.
+
+    Accepts a single :class:`ScenarioSpec`, a single :class:`SweepSpec`, or
+    any iterable mixing both.  Duplicates (same content hash) keep their
+    first occurrence, so composed grids stay stable under re-ordering of
+    later sweeps.  Large grids are better consumed through the streaming
+    :func:`iter_grid`, which this merely materialises.
+
+    >>> base = ScenarioSpec(policy="POWER")
+    >>> grid = expand_grid((base, SweepSpec(base, {"policy": ("POWER", "RANDOM")})))
+    >>> [spec.policy for spec in grid]  # duplicate POWER collapsed
+    ['POWER', 'RANDOM']
+    """
+    return tuple(iter_grid(grid))

@@ -1,24 +1,57 @@
-"""Cached scenario results: the JSONL store and its aggregation helpers.
+"""Cached scenario results: crash-safe JSONL stores and their aggregation.
 
-The store is an append-only JSONL file keyed by the scenario content hash
-(:meth:`repro.runner.spec.ScenarioSpec.content_hash`).  A sweep consults
-it before simulating: a hit returns the recorded result without running
-anything, which turns repeated sweeps over a growing grid into incremental
-work.  Appending (rather than rewriting) keeps concurrent readers safe and
-makes a crashed sweep resumable — whatever completed is already on disk.
+Two store layouts share one record format (one JSON object per line,
+keyed by the scenario content hash of
+:meth:`repro.runner.spec.ScenarioSpec.content_hash`):
+
+* :class:`ResultStore` — the original single-file JSONL store; still the
+  right choice for small grids and the format every record tool reads.
+* :class:`ShardedResultStore` — a store *directory* of per-shard JSONL
+  files keyed by hash prefix, built for 100k-scenario sweeps shared by
+  many workers: shards load lazily (a cache lookup reads one shard, not
+  the whole store), and a legacy single-file store migrates to the
+  sharded layout automatically on open.
+
+Both layouts make the resumability promise real under crashes and
+concurrency:
+
+* every record is appended as a **single ``O_APPEND`` write** under an
+  advisory ``fcntl.flock`` exclusive lock, so concurrent appends from
+  worker processes — on one host or across hosts on a shared
+  filesystem — never interleave bytes;
+* a **torn final line** left by a crashed append is tolerated on the
+  next open: the partial bytes are moved to a ``*.quarantine`` sidecar
+  (with a warning) and the file is truncated back to the last complete
+  record, so whatever completed stays loadable and the next append
+  starts on a clean line;
+* a corrupt *interior* line — complete (newline-terminated) but
+  unparseable — still raises ``ValueError``: that is genuine corruption,
+  not a crash artefact, and must not be silently dropped.
+
+A sweep consults a store before simulating: a hit returns the recorded
+result without running anything, which turns repeated sweeps over a
+growing grid into incremental work and makes any rerun of a crashed or
+multi-worker sweep pure cache hits.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence, Union
 
 import numpy as np
 
 from repro.runner.spec import ScenarioSpec
+
+try:  # advisory locking is POSIX-only; stores degrade gracefully without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 
 @dataclass(frozen=True)
@@ -73,11 +106,154 @@ class ScenarioResult:
         return dataclasses.replace(self, cached=True)
 
 
+# -- crash-safe JSONL primitives --------------------------------------------------------
+
+
+def _flock(fd: int, operation: int) -> None:
+    if fcntl is not None:
+        fcntl.flock(fd, operation)
+
+
+def _quarantine_path(path: Path) -> Path:
+    """Sidecar file collecting torn record tails of one store file."""
+    return path.with_name(path.name + ".quarantine")
+
+
+def _encode_record(record: Mapping[str, object]) -> bytes:
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _parse_record(line: bytes) -> Mapping[str, object]:
+    """One store line as a record mapping; any defect raises ``ValueError``."""
+    record = json.loads(line)
+    if not isinstance(record, Mapping) or "hash" not in record:
+        raise ValueError("record is not a mapping with a 'hash' key")
+    return record
+
+
+def _quarantine_tail(fd: int, path: Path, size: int, partial: bytes) -> None:
+    """Move the torn tail ``partial`` of an open store file to the sidecar.
+
+    Caller holds the exclusive lock on ``fd``; ``size`` is the current
+    file size, ``partial`` its unterminated trailing bytes.  The partial
+    line is appended to the ``*.quarantine`` sidecar and the store file
+    truncated back to the last complete record, so subsequent appends
+    never concatenate onto the torn bytes.
+    """
+    sidecar = _quarantine_path(path)
+    with sidecar.open("ab") as handle:
+        handle.write(partial + b"\n")
+    os.ftruncate(fd, size - len(partial))
+    warnings.warn(
+        f"{path}: quarantined a truncated final record ({len(partial)} bytes, "
+        f"left by a crashed append) to {sidecar.name}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _repair_tail(fd: int, path: Path) -> None:
+    """Ensure the store file ends on a record boundary (lock held).
+
+    A torn unparseable tail is quarantined; a *complete* record merely
+    missing its newline (hand-edited file) gets the newline appended.
+    """
+    size = os.fstat(fd).st_size
+    if size == 0 or os.pread(fd, 1, size - 1) == b"\n":
+        return
+    data = os.pread(fd, size, 0)
+    partial = data[data.rfind(b"\n") + 1 :]
+    try:
+        _parse_record(partial)
+    except ValueError:
+        _quarantine_tail(fd, path, size, partial)
+    else:
+        os.write(fd, b"\n")  # O_APPEND fd: lands exactly at the tail
+
+
+def _locked_append(path: Path, data: bytes) -> None:
+    """Append ``data`` to ``path`` as one write under an exclusive lock.
+
+    ``O_APPEND`` plus the single ``os.write`` call keeps concurrent
+    appends from interleaving; the lock additionally serialises the
+    pre-append tail repair (a predecessor may have crashed mid-write).
+    """
+    fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        _flock(fd, fcntl.LOCK_EX if fcntl is not None else 0)
+        _repair_tail(fd, path)
+        written = os.write(fd, data)
+        while written < len(data):  # pragma: no cover - short writes are exotic
+            written += os.write(fd, data[written:])
+    finally:
+        os.close(fd)  # releases the lock
+
+
+def _read_store_file(
+    path: Path, records: dict[str, Mapping[str, object]], *, lock: bool = True
+) -> None:
+    """Parse one JSONL store file into ``records`` (last record per hash wins).
+
+    Complete lines that fail to parse raise ``ValueError`` (genuine
+    corruption); a torn final line without its newline is quarantined.
+    Read under the exclusive lock so a concurrent append or repair never
+    races the snapshot (``lock=False`` is for callers already holding it).
+    """
+    try:
+        fd = os.open(path, os.O_RDWR)
+        writable = True
+    except FileNotFoundError:
+        return
+    except PermissionError:
+        fd = os.open(path, os.O_RDONLY)
+        writable = False
+    try:
+        if lock and writable:
+            _flock(fd, fcntl.LOCK_EX if fcntl is not None else 0)
+        data = os.pread(fd, os.fstat(fd).st_size, 0)
+        lines = data.split(b"\n")
+        partial = lines.pop()  # bytes after the last newline (b"" when clean)
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = _parse_record(line)
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: corrupt store record ({error})"
+                ) from None
+            records[str(record["hash"])] = record
+        if partial.strip():
+            try:
+                record = _parse_record(partial)
+            except ValueError:
+                if writable:
+                    _quarantine_tail(fd, path, len(data), partial)
+                else:  # pragma: no cover - read-only stores are exotic
+                    warnings.warn(
+                        f"{path}: ignoring a truncated final record "
+                        f"(store is read-only, not repaired)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            else:
+                records[str(record["hash"])] = record
+    finally:
+        os.close(fd)
+
+
+# -- the single-file store --------------------------------------------------------------
+
+
 class ResultStore:
-    """JSONL-backed result store keyed by scenario content hash.
+    """Single-file JSONL result store keyed by scenario content hash.
 
     Records are appended as they complete; on load, the *last* record of a
     hash wins, so force-rerunning a scenario simply appends a fresher line.
+    Appends are single ``O_APPEND`` writes under ``fcntl.flock``, and a
+    torn final line left by a crashed append is quarantined on the next
+    open (see the module docstring) — the store survives any crash of any
+    writer with at most the in-flight record lost.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -95,22 +271,14 @@ class ResultStore:
         if self._loaded:
             return self
         self._loaded = True
-        if not self._path.exists():
-            return self
-        with self._path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    digest = record["hash"]
-                except (json.JSONDecodeError, KeyError, TypeError) as error:
-                    raise ValueError(
-                        f"{self._path}:{line_number}: corrupt store record ({error})"
-                    ) from None
-                self._records[digest] = record
+        _read_store_file(self._path, self._records)
         return self
+
+    def refresh(self) -> "ResultStore":
+        """Drop the in-memory index and re-read the file (other writers!)."""
+        self._records.clear()
+        self._loaded = False
+        return self.load()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -129,9 +297,8 @@ class ResultStore:
         """Append one result to the file and the in-memory index."""
         record = result.to_record()
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        with self._path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._records[record["hash"]] = record
+        _locked_append(self._path, _encode_record(record))
+        self._records[str(record["hash"])] = record
 
     def results(self) -> tuple[ScenarioResult, ...]:
         """All stored results, ordered by scenario id for determinism."""
@@ -141,6 +308,280 @@ class ResultStore:
         ]
         loaded.sort(key=lambda result: result.spec.scenario_id)
         return tuple(loaded)
+
+    def quarantined(self) -> int:
+        """Number of torn records quarantined beside this store."""
+        return _count_quarantined(_quarantine_path(self._path))
+
+
+# -- the sharded store directory --------------------------------------------------------
+
+#: Name of the layout descriptor inside a sharded store directory.
+STORE_META_NAME = "store.json"
+
+#: The sharded layout version written into :data:`STORE_META_NAME`.
+STORE_FORMAT_VERSION = 1
+
+
+def _count_quarantined(sidecar: Path) -> int:
+    if not sidecar.exists():
+        return 0
+    with sidecar.open("rb") as handle:
+        return sum(1 for line in handle if line.strip())
+
+
+class ShardedResultStore:
+    """A store *directory* of per-shard JSONL files keyed by hash prefix.
+
+    The first ``prefix_len`` hex digits of the scenario hash name the
+    shard (``prefix_len=1`` ⇒ 16 shards ``shard-0.jsonl`` …
+    ``shard-f.jsonl``).  Shards load lazily: a cache lookup reads only
+    the shard its hash lands in, so consulting a 100k-record store for
+    one scenario stays O(store/shards), and N workers appending to a
+    shared directory contend per shard, not per store.
+
+    Layout (self-describing via ``store.json``)::
+
+        results/                 ← the store "path"
+          store.json             ← {"format": "sharded-jsonl", "prefix_len": 1, …}
+          shard-0.jsonl          ← records whose hash starts with "0"
+          …
+          shard-f.jsonl
+          shard-3.jsonl.quarantine   ← torn tails, when a writer crashed
+
+    Opening a path that holds a legacy **single-file** store migrates it
+    in place (original preserved as ``<name>.pre-shard.bak``), so old
+    ``--store results.jsonl`` files keep working when pointed at by the
+    sharded machinery.
+    """
+
+    def __init__(self, root: str | Path, *, prefix_len: int = 1) -> None:
+        if not 1 <= int(prefix_len) <= 4:
+            raise ValueError(f"prefix_len must be in [1, 4], got {prefix_len}")
+        self._root = Path(root)
+        self._prefix_len = int(prefix_len)
+        self._shards: dict[str, dict[str, Mapping[str, object]]] = {}
+        self._opened = False
+
+    @property
+    def path(self) -> Path:
+        """Location of the store directory."""
+        return self._root
+
+    @property
+    def prefix_len(self) -> int:
+        """Hex digits of the scenario hash that name a shard."""
+        return self._prefix_len
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards the layout addresses (16 ** prefix_len)."""
+        return 16 ** self._prefix_len
+
+    # -- layout -------------------------------------------------------------------------
+
+    def _meta_path(self) -> Path:
+        return self._root / STORE_META_NAME
+
+    def _shard_key(self, scenario_hash: str) -> str:
+        return scenario_hash[: self._prefix_len].lower()
+
+    def shard_path(self, scenario_hash: str) -> Path:
+        """The shard file a scenario hash lands in."""
+        return self._root / f"shard-{self._shard_key(scenario_hash)}.jsonl"
+
+    def shard_files(self) -> tuple[Path, ...]:
+        """All shard files present on disk, sorted by name."""
+        if not self._root.is_dir():
+            return ()
+        return tuple(sorted(self._root.glob("shard-*.jsonl")))
+
+    def _write_meta(self) -> None:
+        meta = {
+            "format": "sharded-jsonl",
+            "version": STORE_FORMAT_VERSION,
+            "prefix_len": self._prefix_len,
+        }
+        self._meta_path().write_text(json.dumps(meta, sort_keys=True) + "\n", "utf-8")
+
+    def _read_meta(self) -> None:
+        meta_path = self._meta_path()
+        if not meta_path.exists():
+            return
+        try:
+            meta = json.loads(meta_path.read_text("utf-8"))
+            prefix_len = int(meta["prefix_len"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"{meta_path}: corrupt store metadata ({error})") from None
+        self._prefix_len = prefix_len
+
+    # -- open / migrate -----------------------------------------------------------------
+
+    def load(self) -> "ShardedResultStore":
+        """Open the store: adopt the on-disk layout, migrating if needed.
+
+        Shard *contents* are not read here — they load lazily per lookup.
+        A legacy single JSONL file at the store path is migrated to the
+        sharded layout; an interrupted earlier migration is completed.
+        """
+        if self._opened:
+            return self
+        self._opened = True
+        staging = self._staging_path()
+        if self._root.is_file():
+            self._migrate_single_file()
+        elif not self._root.exists() and (staging / STORE_META_NAME).exists():
+            # A migration crashed between moving the legacy file aside and
+            # renaming the fully-written staging directory into place.
+            staging.rename(self._root)
+        self._read_meta()
+        return self
+
+    def refresh(self) -> "ShardedResultStore":
+        """Drop lazily-loaded shards so other workers' appends are seen."""
+        self._shards.clear()
+        return self
+
+    def _staging_path(self) -> Path:
+        return self._root.with_name(self._root.name + ".migrating")
+
+    def _migrate_single_file(self) -> None:
+        """Shard a legacy single-file store in place (file → directory).
+
+        Crash-safe order: the sharded copy is fully written to a staging
+        directory first, then the legacy file is moved aside (as
+        ``<name>.pre-shard.bak``) and the staging directory renamed into
+        place; :meth:`load` completes a migration interrupted between the
+        two renames.  Concurrent migrations serialise on the legacy
+        file's lock, and the loser re-checks and backs off.
+        """
+        legacy = self._root
+        fd = os.open(legacy, os.O_RDWR)
+        try:
+            _flock(fd, fcntl.LOCK_EX if fcntl is not None else 0)
+            if not legacy.is_file():  # raced: someone else migrated first
+                return
+            records: dict[str, Mapping[str, object]] = {}
+            _read_store_file(legacy, records, lock=False)
+            staging = self._staging_path()
+            if staging.exists():
+                for stale in sorted(staging.glob("*")):
+                    stale.unlink()
+                staging.rmdir()
+            staging.mkdir(parents=True)
+            meta = {
+                "format": "sharded-jsonl",
+                "version": STORE_FORMAT_VERSION,
+                "prefix_len": self._prefix_len,
+            }
+            by_shard: dict[str, list[bytes]] = {}
+            for digest, record in records.items():
+                by_shard.setdefault(self._shard_key(digest), []).append(
+                    _encode_record(record)
+                )
+            for key, lines in sorted(by_shard.items()):
+                (staging / f"shard-{key}.jsonl").write_bytes(b"".join(lines))
+            (staging / STORE_META_NAME).write_text(
+                json.dumps(meta, sort_keys=True) + "\n", "utf-8"
+            )
+            backup = legacy.with_name(legacy.name + ".pre-shard.bak")
+            legacy.rename(backup)
+            staging.rename(self._root)
+            sidecar = _quarantine_path(legacy)
+            if sidecar.exists():
+                sidecar.rename(self._root / (self._root.name + ".quarantine"))
+        finally:
+            os.close(fd)
+
+    # -- lookup / append ----------------------------------------------------------------
+
+    def _shard(self, scenario_hash: str) -> dict[str, Mapping[str, object]]:
+        self.load()
+        key = self._shard_key(scenario_hash)
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = {}
+            _read_store_file(self._root / f"shard-{key}.jsonl", shard)
+            self._shards[key] = shard
+        return shard
+
+    def _load_all(self) -> None:
+        self.load()
+        for path in self.shard_files():
+            key = path.name[len("shard-") : -len(".jsonl")]
+            if key not in self._shards:
+                shard: dict[str, Mapping[str, object]] = {}
+                _read_store_file(path, shard)
+                self._shards[key] = shard
+
+    def __len__(self) -> int:
+        self._load_all()
+        return sum(len(shard) for shard in self._shards.values())
+
+    def __contains__(self, scenario_hash: str) -> bool:
+        return scenario_hash in self._shard(scenario_hash)
+
+    def get(self, scenario_hash: str, *, cached: bool = True) -> ScenarioResult | None:
+        """The stored result of one scenario hash, or ``None``.
+
+        Reads (at most) the one shard file the hash lands in.
+        """
+        record = self._shard(scenario_hash).get(scenario_hash)
+        if record is None:
+            return None
+        return ScenarioResult.from_record(record, cached=cached)
+
+    def put(self, result: ScenarioResult) -> None:
+        """Append one result to its shard file and the in-memory index."""
+        self.load()
+        record = result.to_record()
+        digest = str(record["hash"])
+        self._root.mkdir(parents=True, exist_ok=True)
+        if not self._meta_path().exists():
+            self._write_meta()
+        _locked_append(self.shard_path(digest), _encode_record(record))
+        key = self._shard_key(digest)
+        if key in self._shards:
+            self._shards[key][digest] = record
+
+    def results(self) -> tuple[ScenarioResult, ...]:
+        """All stored results, ordered by scenario id for determinism."""
+        self._load_all()
+        loaded = [
+            ScenarioResult.from_record(record, cached=True)
+            for shard in self._shards.values()
+            for record in shard.values()
+        ]
+        loaded.sort(key=lambda result: result.spec.scenario_id)
+        return tuple(loaded)
+
+    def quarantined(self) -> int:
+        """Number of torn records quarantined across all shards."""
+        if not self._root.is_dir():
+            return 0
+        return sum(
+            _count_quarantined(sidecar)
+            for sidecar in sorted(self._root.glob("*.quarantine"))
+        )
+
+
+AnyResultStore = Union[ResultStore, ShardedResultStore]
+
+
+def open_store(path: str | Path) -> AnyResultStore:
+    """Open the right store implementation for ``path``.
+
+    An existing directory — or a fresh path without a ``.jsonl`` /
+    ``.json`` suffix — opens as a :class:`ShardedResultStore`; an
+    existing file, or a fresh path that names one, keeps the legacy
+    single-file :class:`ResultStore` readable and writable in place.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return ShardedResultStore(path)
+    if path.is_file() or path.suffix in (".jsonl", ".json"):
+        return ResultStore(path)
+    return ShardedResultStore(path)
 
 
 #: Metrics every experiment family reports, used as the default aggregate.
@@ -153,7 +594,16 @@ def _group_key(result: ScenarioResult, group_by: Sequence[str]) -> tuple:
         if name in result.metrics:
             key.append(result.metrics[name])
         else:
-            key.append(getattr(result.spec, name))
+            try:
+                key.append(getattr(result.spec, name))
+            except AttributeError:
+                valid = ", ".join(
+                    spec_field.name for spec_field in dataclasses.fields(ScenarioSpec)
+                )
+                raise ValueError(
+                    f"unknown group_by field {name!r}; expected a metric name "
+                    f"or one of the spec fields: {valid}"
+                ) from None
     return tuple(key)
 
 
@@ -171,7 +621,8 @@ def summarize(
     every metric — the mean plus the requested percentiles, as
     ``"<metric>_mean"`` / ``"<metric>_p<q>"`` entries.  Rows are sorted by
     group key, so the aggregation of a sweep is byte-stable regardless of
-    the execution order of its scenarios.
+    the execution order of its scenarios.  An unknown group-by name
+    raises ``ValueError`` listing the valid spec fields.
     """
     group_by = tuple(group_by)
     grouped: dict[tuple, list[ScenarioResult]] = {}
@@ -201,3 +652,20 @@ def summarize(
                 row[f"{metric}_p{q:g}"] = float(np.percentile(data, q))
         rows.append(row)
     return tuple(rows)
+
+
+def iter_store_records(path: str | Path) -> Iterator[Mapping[str, object]]:
+    """Yield every record of a store (file or directory), last-wins applied.
+
+    The verification primitive behind ``repro store verify``: loading
+    forces a full parse of every shard, so corrupt interior lines raise
+    and torn tails are quarantined as a side effect.
+    """
+    store = open_store(path)
+    store.load()
+    if isinstance(store, ShardedResultStore):
+        store._load_all()
+        for key in sorted(store._shards):
+            yield from store._shards[key].values()
+    else:
+        yield from store._records.values()

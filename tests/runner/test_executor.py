@@ -148,6 +148,81 @@ class TestRunSweep:
         assert "[  1/3] run" in serial_log.getvalue()
 
 
+class TestStreamingExecution:
+    """Generator scenario streams: same results, bounded in-flight window."""
+
+    def test_generator_input_matches_tuple_input(self):
+        from repro.runner.spec import iter_grid
+
+        eager = run_scenarios(tuple(iter_grid(TINY_GRID)))
+        streamed = run_scenarios(iter_grid(TINY_GRID), jobs=2)
+        assert [r.metrics for r in eager.results] == [
+            r.metrics for r in streamed.results
+        ]
+        assert [r.spec for r in eager.results] == [r.spec for r in streamed.results]
+
+    def test_window_of_one_matches_serial(self):
+        serial = run_scenarios(tuple(TINY_GRID[0].expand()), jobs=1)
+        windowed = run_scenarios(tuple(TINY_GRID[0].expand()), jobs=2, window=1)
+        assert [r.metrics for r in serial.results] == [
+            r.metrics for r in windowed.results
+        ]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            run_scenarios(tuple(TINY_GRID[0].expand()), jobs=2, window=0)
+
+    def test_progress_total_is_none_for_generators(self):
+        from repro.runner.spec import iter_grid
+
+        totals = []
+        run_scenarios(
+            iter_grid(TINY_GRID),
+            progress=lambda i, r, total: totals.append(total),
+        )
+        assert totals == [None, None, None]
+
+    def test_progress_total_is_known_for_sequences(self):
+        totals = []
+        run_scenarios(
+            tuple(TINY_GRID[0].expand()),
+            progress=lambda i, r, total: totals.append(total),
+        )
+        assert totals == [2, 2]
+
+    def test_progress_printer_renders_unknown_total(self):
+        from repro.runner.spec import iter_grid
+
+        log = io.StringIO()
+        run_scenarios(iter_grid(TINY_GRID), progress=SweepProgressPrinter(log))
+        assert "[  1/?] run" in log.getvalue()
+
+    def test_run_sweep_stream_matches_eager(self):
+        eager = run_sweep(TINY_GRID)
+        streamed = run_sweep(TINY_GRID, jobs=2, stream=True)
+        assert [r.metrics for r in eager.results] == [
+            r.metrics for r in streamed.results
+        ]
+        assert streamed.total == eager.total == 3
+
+    def test_run_sweep_stream_applies_filter(self):
+        streamed = run_sweep(TINY_GRID, stream=True, filter="placement")
+        assert streamed.total == 2
+        assert all(r.spec.experiment == "placement" for r in streamed.results)
+
+    def test_streamed_store_caching(self, tmp_path):
+        from repro.runner.spec import iter_grid
+
+        store_dir = tmp_path / "store"
+        first = run_scenarios(iter_grid(TINY_GRID), store=store_dir, jobs=2)
+        second = run_scenarios(iter_grid(TINY_GRID), store=store_dir, jobs=2)
+        assert first.executed == 3
+        assert second.cached == 3
+        assert [r.metrics for r in first.results] == [
+            r.metrics for r in second.results
+        ]
+
+
 class TestStoreIntegration:
     def test_second_run_is_all_cache_hits(self, tmp_path, monkeypatch):
         path = tmp_path / "results.jsonl"

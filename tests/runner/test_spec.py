@@ -7,7 +7,7 @@ import sys
 
 import pytest
 
-from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid
+from repro.runner.spec import ScenarioSpec, SweepSpec, expand_grid, iter_grid
 
 
 class TestScenarioSpec:
@@ -142,3 +142,51 @@ class TestExpandGrid:
     def test_rejects_foreign_entries(self):
         with pytest.raises(TypeError):
             expand_grid(("not a spec",))
+
+
+class TestStreamingGrids:
+    """iter_grid / iter_expand: same scenarios, nothing materialised."""
+
+    def test_iter_expand_matches_expand(self):
+        sweep = SweepSpec(
+            base=ScenarioSpec(),
+            axes={"policy": ("POWER", "RANDOM"), "seed": (0, 1, 2)},
+        )
+        assert tuple(sweep.iter_expand()) == sweep.expand()
+
+    def test_iter_grid_matches_expand_grid_with_dedup(self):
+        base = ScenarioSpec()
+        grid = (SweepSpec(base=base, axes={"seed": (0, 1)}), base, base.replace(seed=2))
+        assert tuple(iter_grid(grid)) == expand_grid(grid)
+
+    def test_iter_grid_is_lazy(self):
+        """An invalid axis value deep in the grid only raises when reached —
+        validation happens in replace(), so early consumption never sees it."""
+        sweep = SweepSpec(
+            base=ScenarioSpec(),
+            axes={"seed": (0, 1, -1)},  # -1 is rejected by ScenarioSpec
+        )
+        stream = sweep.iter_expand()
+        assert next(stream).seed == 0
+        assert next(stream).seed == 1
+        with pytest.raises(ValueError, match="seed"):
+            next(stream)
+
+    def test_iter_grid_rejects_foreign_entries(self):
+        with pytest.raises(TypeError):
+            list(iter_grid(("not a spec",)))
+
+    def test_hundred_thousand_scenario_sweep_streams(self):
+        """size is O(1) and the stream yields without full expansion."""
+        sweep = SweepSpec(
+            base=ScenarioSpec(),
+            axes={
+                "seed": tuple(range(10_000)),
+                "preference": tuple(i / 10 for i in range(10)),
+            },
+        )
+        assert sweep.size == 100_000
+        stream = sweep.iter_expand()
+        head = [next(stream) for _ in range(5)]
+        assert [s.preference for s in head] == [0.0, 0.1, 0.2, 0.3, 0.4]
+        assert all(s.seed == 0 for s in head)

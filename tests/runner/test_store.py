@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 import json
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.runner.spec import ScenarioSpec
 from repro.runner.store import ResultStore, ScenarioResult, summarize
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
 
 
 def make_result(
@@ -88,6 +93,125 @@ class TestResultStore:
         store.put(make_result(policy="POWER"))
         assert [r.spec.policy for r in store.results()] == ["POWER", "RANDOM"]
 
+    def test_refresh_sees_another_writers_append(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        reader = ResultStore(path).load()
+        ResultStore(path).load().put(make_result())
+        assert len(reader) == 0  # stale snapshot
+        assert len(reader.refresh()) == 1
+
+
+class TestCrashSafety:
+    """The resumability promise: a crashed append never poisons the store."""
+
+    def test_truncated_final_line_is_quarantined(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path).load()
+        store.put(make_result(policy="POWER"))
+        store.put(make_result(policy="RANDOM"))
+        # Simulate a crash mid-append: tear the second record in half.
+        data = path.read_bytes()
+        cut = data.rindex(b'"metrics"')
+        path.write_bytes(data[:cut])
+        with pytest.warns(RuntimeWarning, match="quarantined a truncated final record"):
+            reloaded = ResultStore(path).load()
+        assert len(reloaded) == 1
+        assert reloaded.get(make_result(policy="POWER").scenario_hash) is not None
+        assert reloaded.quarantined() == 1
+
+    def test_quarantine_truncates_so_next_append_is_clean(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).load().put(make_result(policy="POWER"))
+        with path.open("ab") as handle:
+            handle.write(b'{"hash": "torn')
+        with pytest.warns(RuntimeWarning):
+            repaired = ResultStore(path).load()
+        repaired.put(make_result(policy="RANDOM"))
+        # A fresh load parses every line — no concatenated garbage.
+        final = ResultStore(path).load()
+        assert len(final) == 2
+        assert final.quarantined() == 1
+
+    def test_put_repairs_a_predecessors_torn_tail(self, tmp_path):
+        """An append onto a torn tail must not glue records together."""
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).load().put(make_result(policy="POWER"))
+        with path.open("ab") as handle:
+            handle.write(b'{"hash": "torn')
+        writer = ResultStore(path)
+        writer._loaded = True  # writer that never re-read the file
+        with pytest.warns(RuntimeWarning):
+            writer.put(make_result(policy="RANDOM"))
+        final = ResultStore(path).load()
+        assert len(final) == 2
+        assert final.quarantined() == 1
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path).load()
+        store.put(make_result(policy="POWER"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json\n")  # complete (newline-terminated) garbage
+        store.put(make_result(policy="RANDOM"))
+        with pytest.raises(ValueError, match="corrupt store record"):
+            ResultStore(path).load()
+
+    def test_complete_final_record_without_newline_is_kept(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        record = json.dumps(make_result().to_record(), sort_keys=True)
+        path.write_text(record)  # hand-made file, no trailing newline
+        store = ResultStore(path).load()
+        assert len(store) == 1
+        assert store.quarantined() == 0
+
+
+class TestConcurrentAppends:
+    """fcntl-locked single-write appends never interleave across processes."""
+
+    N_PROCS = 4
+    N_RECORDS = 20
+
+    _WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.runner.spec import ScenarioSpec
+from repro.runner.store import ResultStore, ScenarioResult
+
+store = ResultStore({path!r}).load()
+for seed in range({start}, {start} + {count}):
+    store.put(ScenarioResult(
+        spec=ScenarioSpec(policy="RANDOM", seed=seed),
+        metrics={{"makespan": float(seed)}},
+        # Bulk the record up so torn/interleaved writes could not hide.
+        detail={{"pad": "x" * 2048}},
+    ))
+"""
+
+    def test_parallel_processes_hammering_one_file(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    self._WRITER.format(
+                        src=SRC,
+                        path=str(path),
+                        start=worker * self.N_RECORDS,
+                        count=self.N_RECORDS,
+                    ),
+                ]
+            )
+            for worker in range(self.N_PROCS)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        store = ResultStore(path).load()
+        assert len(store) == self.N_PROCS * self.N_RECORDS
+        assert store.quarantined() == 0
+        seeds = sorted(r.spec.seed for r in store.results())
+        assert seeds == list(range(self.N_PROCS * self.N_RECORDS))
+
 
 class TestSummarize:
     def test_groups_and_percentiles(self):
@@ -124,3 +248,13 @@ class TestSummarize:
     def test_missing_metric_is_skipped(self):
         rows = summarize([make_result()], metrics=("does_not_exist",))
         assert "does_not_exist_mean" not in rows[0]
+
+    def test_unknown_group_by_field_raises_value_error(self):
+        """A typo'd group_by must not escape as a bare AttributeError: the
+        CLI maps ValueError to exit 2 with a readable message."""
+        with pytest.raises(ValueError, match="unknown group_by field 'typo'"):
+            summarize([make_result()], group_by=("typo",))
+
+    def test_unknown_group_by_error_names_the_spec_fields(self):
+        with pytest.raises(ValueError, match="experiment.*policy.*seed"):
+            summarize([make_result()], group_by=("policyy",))

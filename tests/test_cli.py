@@ -176,6 +176,131 @@ class TestSweepCommand:
         assert "cross:mini.swf+failures.toml" in out
         assert "trace=mini.swf/timeline=failures.toml" in out
 
+    def test_sharded_store_directory_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "store").is_dir()
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios — 0 executed, 3 cached" in out
+
+    def test_workers_dir_runs_a_worker(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        claims = str(tmp_path / "claims")
+        assert (
+            main(
+                [
+                    "sweep", "--grid", "smoke",
+                    "--store", store,
+                    "--workers-dir", claims,
+                    "--worker-id", "alpha",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worker alpha:" in out
+        assert "3 scenarios — 3 executed, 0 cached" in out
+        assert any(Path(claims).glob("claim-*.json"))
+
+    def test_second_worker_is_all_cache_hits(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = ["sweep", "--grid", "smoke", "--store", store]
+        assert main(base + ["--workers-dir", str(tmp_path / "a")]) == 0
+        capsys.readouterr()
+        assert main(base + ["--workers-dir", str(tmp_path / "a")]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios — 0 executed, 3 cached" in out
+
+    def test_workers_dir_requires_store(self, capsys, tmp_path):
+        assert main(["sweep", "--grid", "smoke", "--workers-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "--workers-dir needs --store" in err
+
+    def test_workers_dir_rejects_force(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep", "--grid", "smoke",
+                    "--store", str(tmp_path / "s"),
+                    "--workers-dir", str(tmp_path / "c"),
+                    "--force",
+                ]
+            )
+            == 2
+        )
+        assert "--force is incompatible" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def test_verify_single_file_store(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", store]) == 0
+        out = capsys.readouterr().out
+        assert "store ok — 3 record(s)" in out
+        assert "layout: single-file JSONL" in out
+        assert "quarantined: 0" in out
+
+    def test_verify_sharded_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", store]) == 0
+        out = capsys.readouterr().out
+        assert "store ok — 3 record(s)" in out
+        assert "layout: sharded" in out
+        assert "quarantined: 0" in out
+
+    def test_verify_corrupt_store_exits_2(self, capsys, tmp_path):
+        store = tmp_path / "results.jsonl"
+        store.write_text('{"bad": "record"}\ngarbage\n')
+        assert main(["store", "verify", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt store record" in err
+        assert "Traceback" not in err
+
+    def test_verify_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(["store", "verify", str(tmp_path / "nope")]) == 2
+        assert "no store file or directory" in capsys.readouterr().err
+
+    def test_verify_reports_quarantined_tail(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        with open(store, "ab") as handle:
+            handle.write(b'{"hash": "torn')
+        assert main(["store", "verify", store]) == 0
+        out = capsys.readouterr().out
+        assert "store ok — 3 record(s)" in out
+        assert "quarantined: 1" in out
+
+    def test_migrate_shards_a_legacy_file(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "migrate", store]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out
+        assert (tmp_path / "results.jsonl").is_dir()
+        capsys.readouterr()
+        # The migrated store serves the old results as cache hits.
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        assert "0 executed, 3 cached" in capsys.readouterr().out
+
+    def test_migrate_directory_is_a_noop(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--grid", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "migrate", store]) == 0
+        assert "already a sharded store directory" in capsys.readouterr().out
+
+    def test_migrate_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["store", "migrate", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no single-file store" in capsys.readouterr().err
+
 
 class TestVersion:
     def test_version_flag_prints_the_package_version(self, capsys):
